@@ -1,0 +1,185 @@
+// mixed_criticality — the paper's motivating scenario (Section 1, Figure 1).
+//
+// A hard real-time control task and untrusted best-effort tasks share one
+// processor under the protected microkernel. The untrusted tasks hammer the
+// kernel with the longest operations they are authorized to perform (object
+// creation, endpoint teardown, badge revocation, worst-case IPC) while a
+// periodic timer drives the real-time task. We measure every interrupt
+// response, compare the distribution against the statically computed bound,
+// and show the difference between the "before" and "after" kernels.
+//
+//   $ mixed_criticality
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "src/sim/report.h"
+#include "src/sim/workload.h"
+#include "src/wcet/analysis.h"
+
+namespace pmk {
+namespace {
+
+struct RunResult {
+  std::vector<Cycles> latencies;
+  Cycles bound = 0;
+  std::uint32_t preemptions = 0;
+};
+
+RunResult RunScenario(const KernelConfig& kc, Cycles timer_period, int steps) {
+  System sys(kc, EvalMachine(false));
+
+  // The real-time task: highest priority, waits on the timer endpoint.
+  EndpointObj* timer_ep = nullptr;
+  const std::uint32_t timer_cptr = sys.AddEndpoint(&timer_ep);
+  TcbObj* rt_task = sys.AddThread(/*prio=*/250);
+  sys.kernel().DirectBindIrq(InterruptController::kTimerLine, timer_ep);
+  sys.kernel().DirectBlockOnRecv(rt_task, timer_ep);
+
+  // Untrusted best-effort tasks with authority over their own objects.
+  EndpointObj* victim_ep = nullptr;
+  std::uint32_t victim_cptr = sys.AddEndpoint(&victim_ep);
+  const std::uint32_t ut_cptr = sys.AddUntyped(21);
+  Cap root_cap;
+  root_cap.type = ObjType::kCNode;
+  root_cap.obj = sys.root()->base;
+  const std::uint32_t root_cptr = sys.AddCap(root_cap);
+  TcbObj* attacker = sys.AddThread(/*prio=*/20);
+  sys.kernel().DirectSetCurrent(attacker);
+
+  // Deep-cspace sender for worst-case IPC decodes.
+  System::WorstIpc worst = sys.BuildWorstCaseIpc();
+
+  RunResult out;
+  sys.machine().timer().set_period(timer_period);
+  sys.machine().timer().Restart(sys.machine().Now());
+
+  std::mt19937 rng(7);
+  std::uint32_t dest = 40;
+  int pending_retype = 0;
+  for (int step = 0; step < steps; ++step) {
+    // Service any timer interrupt that fired while "user code" ran: the
+    // RT task wakes, does its control work, and waits again.
+    if (sys.machine().irq().AnyPending() &&
+        sys.kernel().current() != rt_task) {
+      sys.kernel().HandleIrqEntry();
+    }
+    if (sys.kernel().current() == rt_task) {
+      sys.machine().RawCycles(200);  // control-loop work
+      sys.kernel().Syscall(SysOp::kRecv, timer_cptr, SyscallArgs{});
+      sys.machine().irq().Unmask(InterruptController::kTimerLine);
+      if (sys.kernel().current() == sys.kernel().idle()) {
+        sys.kernel().DirectSetCurrent(attacker);
+      }
+      continue;
+    }
+
+    // The attacker picks a nasty kernel operation.
+    SyscallArgs args;
+    switch (pending_retype > 0 ? 0 : rng() % 4) {
+      case 0: {  // create a large frame (long clear)
+        args.label = InvLabel::kUntypedRetype;
+        args.obj_type = ObjType::kFrame;
+        args.obj_bits = 18;
+        args.dest_index = dest;
+        const KernelExit e = sys.kernel().Syscall(SysOp::kCall, ut_cptr, args);
+        if (e == KernelExit::kPreempted) {
+          out.preemptions++;
+          pending_retype = 1;  // restart the same syscall next step
+        } else {
+          pending_retype = 0;
+          if (attacker->last_error == KError::kOk) {
+            dest++;
+          }
+        }
+        break;
+      }
+      case 1: {  // worst-case IPC through 32-level cspaces
+        sys.kernel().DirectSetCurrent(worst.caller);
+        if (worst.receiver->state != ThreadState::kBlockedOnRecv) {
+          // re-arm receiver
+          worst.receiver->state = ThreadState::kRunning;
+          worst.receiver->reply_to = nullptr;
+          sys.kernel().Syscall(SysOp::kReplyRecv, worst.reply_cptr, SyscallArgs{});
+        }
+        sys.kernel().DirectSetCurrent(worst.caller);
+        if (worst.caller->state == ThreadState::kBlockedOnReply) {
+          worst.caller->state = ThreadState::kRunning;
+        }
+        sys.kernel().Syscall(SysOp::kCall, worst.ep_cptr, worst.args);
+        sys.kernel().DirectSetCurrent(attacker);
+        break;
+      }
+      case 2: {  // queue senders, then tear the endpoint down
+        if (victim_ep != nullptr && sys.kernel().objects().Get<EndpointObj>(
+                                        sys.SlotOf(victim_cptr)->cap.obj) != nullptr) {
+          args.label = InvLabel::kCNodeDelete;
+          args.arg0 = victim_cptr & 0xFF;
+          while (sys.kernel().Syscall(SysOp::kCall, root_cptr, args) ==
+                 KernelExit::kPreempted) {
+            out.preemptions++;
+            sys.machine().irq().Unmask(InterruptController::kTimerLine);
+          }
+        }
+        break;
+      }
+      default:  // plain noise
+        sys.kernel().Syscall(SysOp::kYield, 0, args);
+        break;
+    }
+    if (sys.kernel().current() == sys.kernel().idle()) {
+      sys.kernel().DirectSetCurrent(attacker);
+    }
+    sys.machine().RawCycles(500);  // user-mode time between syscalls
+  }
+  sys.machine().timer().set_period(0);
+
+  out.latencies = sys.kernel().irq_latencies();
+  WcetAnalyzer analyzer(sys.kernel().image(), AnalysisOptions{});
+  out.bound = analyzer.InterruptResponseBound();
+  return out;
+}
+
+void Report(const char* name, const RunResult& r) {
+  const ClockSpec clk;
+  if (r.latencies.empty()) {
+    std::printf("%s: no interrupts delivered?\n", name);
+    return;
+  }
+  std::vector<Cycles> sorted = r.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const Cycles max = sorted.back();
+  const Cycles p50 = sorted[sorted.size() / 2];
+  const Cycles p99 = sorted[sorted.size() * 99 / 100];
+  std::printf("%-16s  interrupts=%4zu  preemptions=%3u  p50=%7.1fus  p99=%7.1fus"
+              "  max=%8.1fus  bound=%8.1fus  %s\n",
+              name, sorted.size(), r.preemptions, clk.ToMicros(p50), clk.ToMicros(p99),
+              clk.ToMicros(max), clk.ToMicros(r.bound),
+              max <= r.bound ? "[within bound]" : "[BOUND VIOLATED]");
+}
+
+}  // namespace
+}  // namespace pmk
+
+int main() {
+  using namespace pmk;
+  std::printf("Mixed-criticality scenario: a 250-prio real-time task under attack from\n");
+  std::printf("untrusted tasks running the kernel's longest operations.\n");
+  std::printf("Timer period: 50,000 cycles (~94 us @ 532 MHz); 400 attack steps.\n\n");
+
+  const RunResult after = RunScenario(KernelConfig::After(), 50'000, 400);
+  Report("after kernel", after);
+
+  const RunResult before = RunScenario(KernelConfig::Before(), 50'000, 400);
+  Report("before kernel", before);
+
+  std::printf(
+      "\nThe 'after' kernel preempts its long operations, so even an adversarial\n"
+      "workload cannot push interrupt response past the computed bound — the\n"
+      "paper's mixed-criticality claim. The 'before' kernel's worst response is\n"
+      "set by its longest non-preemptible operation (a multi-millisecond object\n"
+      "clear), orders of magnitude above the 'after' kernel's.\n");
+  return 0;
+}

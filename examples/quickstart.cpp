@@ -1,0 +1,76 @@
+// quickstart — the smallest end-to-end tour of the public API.
+//
+// Builds a two-thread system on the modelled machine, exchanges IPC through
+// an endpoint (hitting the fastpath), delivers a timer interrupt to a
+// handler thread, and runs the WCET analyzer to print the kernel's
+// worst-case interrupt response bound.
+//
+//   $ quickstart
+
+#include <cstdio>
+
+#include "src/sim/workload.h"
+#include "src/wcet/analysis.h"
+
+int main() {
+  using namespace pmk;
+  const ClockSpec clk;
+
+  // 1. A machine (ARM1136-like, L2 off, branch predictor off) plus the
+  //    "after" kernel: Benno scheduling, bitmaps, shadow page tables, and
+  //    preemption points everywhere the paper adds them.
+  System sys(KernelConfig::After(), EvalMachine(/*l2_enabled=*/false));
+  std::printf("kernel image: %zu blocks, %llu bytes of text\n",
+              sys.kernel().image().prog.num_blocks(),
+              static_cast<unsigned long long>(sys.kernel().image().prog.text_bytes()));
+
+  // 2. Two threads talking through an endpoint.
+  EndpointObj* ep = nullptr;
+  const std::uint32_t ep_cptr = sys.AddEndpoint(&ep);
+  TcbObj* server = sys.AddThread(/*prio=*/60);
+  TcbObj* client = sys.AddThread(/*prio=*/10);
+  sys.kernel().DirectBlockOnRecv(server, ep);
+  sys.kernel().DirectSetCurrent(client);
+
+  SyscallArgs call;
+  call.msg_len = 2;
+  client->mrs[0] = 0x1234;
+  const Cycles t0 = sys.machine().Now();
+  sys.kernel().Syscall(SysOp::kCall, ep_cptr, call);
+  std::printf("client -> server Call took %llu cycles (fastpath hits: %llu)\n",
+              static_cast<unsigned long long>(sys.machine().Now() - t0),
+              static_cast<unsigned long long>(sys.kernel().fastpath_hits()));
+  std::printf("server received mr0=0x%llx from badge %llu; replying...\n",
+              static_cast<unsigned long long>(server->mrs[0]),
+              static_cast<unsigned long long>(server->recv_badge));
+
+  server->mrs[0] = 0x5678;
+  SyscallArgs reply;
+  reply.msg_len = 1;
+  sys.kernel().Syscall(SysOp::kReplyRecv, ep_cptr, reply);
+  std::printf("client resumed with mr0=0x%llx\n",
+              static_cast<unsigned long long>(client->mrs[0]));
+
+  // 3. An interrupt: bind line 0 to an endpoint with a waiting handler.
+  EndpointObj* irq_ep = nullptr;
+  sys.AddEndpoint(&irq_ep);
+  TcbObj* handler = sys.AddThread(/*prio=*/200);
+  sys.kernel().DirectBlockOnRecv(handler, irq_ep);
+  sys.kernel().DirectBindIrq(0, irq_ep);
+  sys.machine().irq().Assert(0, sys.machine().Now());
+  sys.kernel().HandleIrqEntry();
+  std::printf("interrupt delivered to handler in %llu cycles (%.2f us)\n",
+              static_cast<unsigned long long>(sys.kernel().irq_latencies().back()),
+              clk.ToMicros(sys.kernel().irq_latencies().back()));
+
+  // 4. The kernel's proof invariants hold (checked dynamically here).
+  sys.kernel().CheckInvariants();
+  std::printf("kernel invariants: OK\n");
+
+  // 5. Static analysis: a sound bound on the worst-case interrupt response.
+  WcetAnalyzer analyzer(sys.kernel().image(), AnalysisOptions{});
+  const Cycles bound = analyzer.InterruptResponseBound();
+  std::printf("computed worst-case interrupt response: %llu cycles = %.1f us @ 532 MHz\n",
+              static_cast<unsigned long long>(bound), clk.ToMicros(bound));
+  return 0;
+}

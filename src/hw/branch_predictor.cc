@@ -1,0 +1,63 @@
+#include "src/hw/branch_predictor.h"
+
+#include <cassert>
+
+namespace pmk {
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config)
+    : config_(config), btb_(config.btb_entries) {
+  assert(config_.btb_entries > 0);
+}
+
+void BranchPredictor::Reset() {
+  for (Entry& e : btb_) {
+    e = Entry{};
+  }
+  mispredicts_ = 0;
+}
+
+Cycles BranchPredictor::OnBranch(Addr pc, BranchKind kind, bool taken) {
+  if (kind == BranchKind::kNone) {
+    return 0;
+  }
+  if (!config_.enabled) {
+    return config_.disabled_cost;
+  }
+  // Unconditional branches and returns hit the BTB / return stack; model them
+  // as predicted correctly after first sight.
+  Entry& e = btb_[pc % btb_.size()];
+  const bool seen = e.valid && e.pc == pc;
+  if (kind == BranchKind::kDirect || kind == BranchKind::kReturn) {
+    e.pc = pc;
+    e.valid = true;
+    if (seen) {
+      return config_.correct_taken;
+    }
+    mispredicts_++;
+    return config_.mispredict;
+  }
+  // Conditional: 2-bit saturating counter.
+  bool predicted_taken = false;
+  if (seen) {
+    predicted_taken = e.counter >= 2;
+  } else {
+    e.pc = pc;
+    e.valid = true;
+    e.counter = 1;
+  }
+  Cycles cost;
+  if (seen && predicted_taken == taken) {
+    cost = taken ? config_.correct_taken : config_.correct_not_taken;
+  } else {
+    mispredicts_++;
+    cost = config_.mispredict;
+  }
+  if (taken && e.counter < 3) {
+    e.counter++;
+  } else if (!taken && e.counter > 0) {
+    e.counter--;
+  }
+  return cost;
+}
+
+}  // namespace pmk

@@ -1,0 +1,138 @@
+#include "src/hw/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace pmk {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config),
+      num_sets_(config.NumSets()),
+      lines_(static_cast<std::size_t>(config.NumSets()) * config.ways),
+      rr_next_(config.NumSets(), 0) {
+  assert(std::has_single_bit(config_.line_bytes));
+  assert(std::has_single_bit(num_sets_));
+  assert(config_.ways >= 1);
+}
+
+std::uint32_t Cache::SetIndexOf(Addr addr) const {
+  return static_cast<std::uint32_t>((addr / config_.line_bytes) & (num_sets_ - 1));
+}
+
+Addr Cache::TagOf(Addr addr) const { return addr / config_.line_bytes / num_sets_; }
+
+bool Cache::Access(Addr addr) {
+  stats_.accesses++;
+  const std::uint32_t set = SetIndexOf(addr);
+  const Addr tag = TagOf(addr);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      stats_.hits++;
+      return true;
+    }
+  }
+  stats_.misses++;
+  // Allocate, unless every way is locked (then the line bypasses the cache).
+  const std::uint32_t all_ways = (config_.ways >= 32) ? ~0u : ((1u << config_.ways) - 1);
+  if ((locked_ways_ & all_ways) == all_ways) {
+    return false;
+  }
+  const std::uint32_t victim = PickVictim(set);
+  base[victim].tag = tag;
+  base[victim].valid = true;
+  return false;
+}
+
+bool Cache::Contains(Addr addr) const {
+  const std::uint32_t set = SetIndexOf(addr);
+  const Addr tag = TagOf(addr);
+  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cache::InstallLine(Addr addr, std::uint32_t way) {
+  assert(way < config_.ways);
+  const std::uint32_t set = SetIndexOf(addr);
+  Line& line = lines_[static_cast<std::size_t>(set) * config_.ways + way];
+  line.tag = TagOf(addr);
+  line.valid = true;
+}
+
+void Cache::LockWay(std::uint32_t way) {
+  assert(way < config_.ways);
+  locked_ways_ |= (1u << way);
+}
+
+void Cache::UnlockWay(std::uint32_t way) {
+  assert(way < config_.ways);
+  locked_ways_ &= ~(1u << way);
+}
+
+void Cache::InvalidateAll() {
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+}
+
+void Cache::Pollute(Addr garbage_base, double fraction) {
+  // Install a unique garbage tag in every unlocked way of |fraction| of the
+  // sets (spread across the index space via a hash, the way a finite
+  // polluting buffer strides through a large cache). Garbage tags are
+  // derived from addresses far above anything the workloads use.
+  const std::uint32_t threshold = static_cast<std::uint32_t>(fraction * 1024.0 + 0.5);
+  for (std::uint32_t set = 0; set < num_sets_; ++set) {
+    if ((set * 2654435761u >> 6) % 1024 >= threshold) {
+      continue;
+    }
+    Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      if (locked_ways_ & (1u << w)) {
+        continue;
+      }
+      const Addr addr = garbage_base +
+                        (static_cast<Addr>(w) * num_sets_ + set) * config_.line_bytes;
+      base[w].tag = TagOf(addr);
+      base[w].valid = true;
+    }
+  }
+}
+
+std::uint32_t Cache::PickVictim(std::uint32_t set) {
+  // Find an unlocked victim way according to the replacement policy.
+  if (config_.policy == ReplacementPolicy::kRoundRobin) {
+    std::uint32_t w = rr_next_[set];
+    for (std::uint32_t tries = 0; tries < config_.ways; ++tries) {
+      const std::uint32_t cand = (w + tries) % config_.ways;
+      if (!(locked_ways_ & (1u << cand))) {
+        rr_next_[set] = (cand + 1) % config_.ways;
+        return cand;
+      }
+    }
+  } else {
+    for (std::uint32_t tries = 0; tries < 4 * config_.ways; ++tries) {
+      // 16-bit Galois LFSR.
+      lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xB400u);
+      const std::uint32_t cand = static_cast<std::uint32_t>(lfsr_) % config_.ways;
+      if (!(locked_ways_ & (1u << cand))) {
+        return cand;
+      }
+    }
+    // Degenerate fallback: first unlocked way.
+    for (std::uint32_t cand = 0; cand < config_.ways; ++cand) {
+      if (!(locked_ways_ & (1u << cand))) {
+        return cand;
+      }
+    }
+  }
+  assert(false && "PickVictim called with all ways locked");
+  return 0;
+}
+
+}  // namespace pmk

@@ -1,0 +1,101 @@
+// Set-associative cache model with way-locking (cache pinning).
+//
+// Models the ARM1136 L1 caches (16 KiB, 4-way, configurable round-robin or
+// pseudo-random replacement) and the i.MX31 unified L2 (128 KiB, 8-way). The
+// ARM1136 allows a subset of ways to be excluded from replacement, which is
+// how the paper pins the interrupt-delivery path into 1/4 of each L1 cache
+// (Section 4).
+
+#ifndef SRC_HW_CACHE_H_
+#define SRC_HW_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmk {
+
+using Addr = std::uint64_t;
+
+enum class ReplacementPolicy {
+  kRoundRobin,
+  kPseudoRandom,
+};
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint32_t size_bytes = 16 * 1024;
+  std::uint32_t ways = 4;
+  std::uint32_t line_bytes = 32;
+  ReplacementPolicy policy = ReplacementPolicy::kRoundRobin;
+
+  std::uint32_t NumSets() const { return size_bytes / (ways * line_bytes); }
+};
+
+// Statistics counters for one cache instance.
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  void Reset() { *this = CacheStats{}; }
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Looks up |addr|; on a miss, allocates the line into a victim way chosen
+  // among unlocked ways. Returns true on hit.
+  bool Access(Addr addr);
+
+  // Returns true if |addr|'s line is currently resident (no state change).
+  bool Contains(Addr addr) const;
+
+  // Loads |addr|'s line into way |way| and marks it resident, regardless of
+  // locking. Used to pre-load lines that will then be pinned.
+  void InstallLine(Addr addr, std::uint32_t way);
+
+  // Excludes |way| from replacement: resident lines in it become pinned.
+  void LockWay(std::uint32_t way);
+  void UnlockWay(std::uint32_t way);
+  std::uint32_t LockedWayMask() const { return locked_ways_; }
+
+  // Invalidates all lines (locked ways included). Lock bits are retained.
+  void InvalidateAll();
+
+  // Fills the unlocked portion of the cache with garbage tags that collide
+  // with nothing the caller will use. Used by worst-case test programs that
+  // pollute the caches before measuring (paper Section 5.4). |fraction|
+  // limits pollution to the first fraction of the sets: a finite polluting
+  // buffer only partially displaces a large cache.
+  void Pollute(Addr garbage_base, double fraction = 1.0);
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  std::uint32_t SetIndexOf(Addr addr) const;
+  Addr TagOf(Addr addr) const;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+  };
+
+  // Chooses the victim way among unlocked ways for |set|.
+  std::uint32_t PickVictim(std::uint32_t set);
+
+  CacheConfig config_;
+  std::uint32_t num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways, way-major within a set.
+  std::vector<std::uint32_t> rr_next_;  // per-set round-robin pointer
+  std::uint32_t locked_ways_ = 0;       // bitmask of locked ways
+  std::uint64_t lfsr_ = 0xACE1u;        // pseudo-random replacement state
+  CacheStats stats_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_HW_CACHE_H_

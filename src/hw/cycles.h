@@ -1,0 +1,26 @@
+// Cycle and wall-clock time types for the modelled machine.
+//
+// The evaluation platform of the paper is a Freescale i.MX31 (ARM1136) clocked
+// at 532 MHz; all results are reported both in cycles and in microseconds at
+// that clock. We keep the clock configurable but default to the paper's.
+
+#ifndef SRC_HW_CYCLES_H_
+#define SRC_HW_CYCLES_H_
+
+#include <cstdint>
+
+namespace pmk {
+
+using Cycles = std::uint64_t;
+
+// Clock frequency of the modelled CPU.
+struct ClockSpec {
+  std::uint64_t hz = 532'000'000;  // i.MX31 / KZM board.
+
+  // Converts a cycle count to microseconds at this clock.
+  double ToMicros(Cycles c) const { return static_cast<double>(c) * 1e6 / static_cast<double>(hz); }
+};
+
+}  // namespace pmk
+
+#endif  // SRC_HW_CYCLES_H_

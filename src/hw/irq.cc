@@ -1,0 +1,77 @@
+#include "src/hw/irq.h"
+
+#include <cassert>
+
+namespace pmk {
+
+void InterruptController::Assert(std::uint32_t line, Cycles now) {
+  assert(line < kNumLines);
+  if (pending_[line]) {
+    return;
+  }
+  pending_[line] = true;
+  assert_time_[line] = now;
+}
+
+bool InterruptController::AnyPending() const {
+  for (std::uint32_t i = 0; i < kNumLines; ++i) {
+    if (pending_[i] && !masked_[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> InterruptController::PendingLine() const {
+  for (std::uint32_t i = 0; i < kNumLines; ++i) {
+    if (pending_[i] && !masked_[i]) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+Cycles InterruptController::Acknowledge(std::uint32_t line) {
+  assert(line < kNumLines);
+  assert(pending_[line]);
+  pending_[line] = false;
+  return assert_time_[line];
+}
+
+void InterruptController::Mask(std::uint32_t line) {
+  assert(line < kNumLines);
+  masked_[line] = true;
+}
+
+void InterruptController::Unmask(std::uint32_t line) {
+  assert(line < kNumLines);
+  masked_[line] = false;
+}
+
+bool InterruptController::IsPending(std::uint32_t line) const {
+  assert(line < kNumLines);
+  return pending_[line];
+}
+
+Cycles InterruptController::AssertTime(std::uint32_t line) const {
+  assert(line < kNumLines);
+  return assert_time_[line];
+}
+
+void InterruptController::Reset() {
+  pending_.fill(false);
+  masked_.fill(false);
+  assert_time_.fill(0);
+}
+
+void IntervalTimer::Tick(Cycles now) {
+  if (period_ == 0) {
+    return;
+  }
+  while (next_fire_ <= now) {
+    ic_->Assert(InterruptController::kTimerLine, next_fire_);
+    next_fire_ += period_;
+  }
+}
+
+}  // namespace pmk

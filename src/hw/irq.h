@@ -1,0 +1,75 @@
+// Interrupt controller and interval timer.
+//
+// Models an AVIC-style interrupt controller: lines can be asserted by devices
+// (or the test harness), masked, acknowledged. The controller records the
+// cycle at which each line was asserted so that the harness can measure
+// interrupt response time: cycles from assertion to the kernel's interrupt
+// handler entry.
+
+#ifndef SRC_HW_IRQ_H_
+#define SRC_HW_IRQ_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/hw/cycles.h"
+
+namespace pmk {
+
+class InterruptController {
+ public:
+  static constexpr std::uint32_t kNumLines = 32;
+  static constexpr std::uint32_t kTimerLine = 0;
+
+  // Asserts |line| at time |now|. Re-asserting a pending line is a no-op (the
+  // original assertion time is kept: response time is measured from the first
+  // unserviced assertion).
+  void Assert(std::uint32_t line, Cycles now);
+
+  // True if any unmasked line is pending.
+  bool AnyPending() const;
+
+  // Highest-priority (lowest-numbered) pending unmasked line, if any.
+  std::optional<std::uint32_t> PendingLine() const;
+
+  // Acknowledges |line|: clears pending, returns the cycle it was asserted.
+  Cycles Acknowledge(std::uint32_t line);
+
+  void Mask(std::uint32_t line);
+  void Unmask(std::uint32_t line);
+  bool IsPending(std::uint32_t line) const;
+  Cycles AssertTime(std::uint32_t line) const;
+
+  void Reset();
+
+ private:
+  std::array<bool, kNumLines> pending_{};
+  std::array<bool, kNumLines> masked_{};
+  std::array<Cycles, kNumLines> assert_time_{};
+};
+
+// Periodic timer that asserts kTimerLine on the interrupt controller.
+class IntervalTimer {
+ public:
+  IntervalTimer(InterruptController* ic, Cycles period) : ic_(ic), period_(period) {}
+
+  // Advances device time to |now|, asserting the timer line for every period
+  // boundary crossed.
+  void Tick(Cycles now);
+
+  Cycles period() const { return period_; }
+  void set_period(Cycles period) { period_ = period; }
+
+  // Re-arms the timer so its next firing is at |now| + period.
+  void Restart(Cycles now) { next_fire_ = now + period_; }
+
+ private:
+  InterruptController* ic_;
+  Cycles period_;
+  Cycles next_fire_ = 0;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_HW_IRQ_H_

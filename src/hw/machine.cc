@@ -1,0 +1,132 @@
+#include "src/hw/machine.h"
+
+#include <cassert>
+#include <vector>
+
+namespace pmk {
+
+namespace {
+constexpr std::uint32_t kInstrBytes = 4;
+// Garbage address bases far above the 128 MiB of modelled RAM.
+constexpr Addr kPolluteBaseI = 0x4000'0000;
+constexpr Addr kPolluteBaseD = 0x5000'0000;
+constexpr Addr kPolluteBaseL2 = 0x6000'0000;
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      bpred_(config.bpred),
+      timer_(&irq_, config.timer_period) {}
+
+Cycles Machine::MissPenalty(Addr addr) {
+  if (!config_.l2_enabled) {
+    return config_.memory.mem_latency_l2_off;
+  }
+  if (l2_.Access(addr)) {
+    return config_.memory.l2_hit_latency;
+  }
+  return config_.memory.mem_latency_l2_on;
+}
+
+void Machine::Advance(Cycles n) {
+  now_ += n;
+  timer_.Tick(now_);
+}
+
+void Machine::InstrFetch(Addr addr, std::uint32_t n_instr) {
+  const std::uint32_t line = config_.l1i.line_bytes;
+  Cycles cost = n_instr;  // 1 cycle per instruction, pipelined.
+  const Addr first_line = addr / line;
+  const Addr last_line = (addr + static_cast<Addr>(n_instr) * kInstrBytes - 1) / line;
+  for (Addr l = first_line; l <= last_line; ++l) {
+    if (!l1i_.Access(l * line)) {
+      cost += MissPenalty(l * line);
+    }
+  }
+  Advance(cost);
+}
+
+void Machine::DataAccess(Addr addr, bool write) {
+  (void)write;  // write-allocate: same penalty either way
+  Cycles cost = config_.memory.load_use_stall;  // pipeline result latency
+  if (!l1d_.Access(addr)) {
+    cost += MissPenalty(addr);
+  }
+  Advance(cost);
+}
+
+void Machine::Branch(Addr pc, BranchKind kind, bool taken) {
+  Advance(bpred_.OnBranch(pc, kind, taken));
+}
+
+void Machine::RawCycles(Cycles n) { Advance(n); }
+
+void Machine::PinL1(std::span<const Addr> icache_lines, std::span<const Addr> dcache_lines,
+                    std::uint32_t ways) {
+  assert(ways >= 1 && ways < config_.l1i.ways);
+  // Install lines round-robin across the locked ways, then lock them. A real
+  // ARM1136 does this by restricting the replacement way while touching the
+  // lines; the net state is identical.
+  for (std::size_t i = 0; i < icache_lines.size(); ++i) {
+    l1i_.InstallLine(icache_lines[i], static_cast<std::uint32_t>(i) % ways);
+  }
+  for (std::size_t i = 0; i < dcache_lines.size(); ++i) {
+    l1d_.InstallLine(dcache_lines[i], static_cast<std::uint32_t>(i) % ways);
+  }
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    l1i_.LockWay(w);
+    l1d_.LockWay(w);
+  }
+}
+
+void Machine::UnpinL1() {
+  for (std::uint32_t w = 0; w < config_.l1i.ways; ++w) {
+    l1i_.UnlockWay(w);
+    l1d_.UnlockWay(w);
+  }
+}
+
+std::size_t Machine::PinL2Lines(std::span<const Addr> lines, std::uint32_t ways) {
+  assert(ways >= 1 && ways < config_.l2.ways);
+  std::vector<std::uint32_t> used(config_.l2.NumSets(), 0);
+  std::size_t pinned = 0;
+  for (Addr a : lines) {
+    const std::uint32_t set = l2_.SetIndexOf(a);
+    if (used[set] >= ways) {
+      continue;  // locked ways full for this set
+    }
+    l2_.InstallLine(a, used[set]++);
+    pinned++;
+  }
+  for (std::uint32_t w = 0; w < ways; ++w) {
+    l2_.LockWay(w);
+  }
+  return pinned;
+}
+
+void Machine::PolluteCaches() {
+  l1i_.Pollute(kPolluteBaseI);
+  l1d_.Pollute(kPolluteBaseD);
+  // A realistic polluting test program dirties the 16 KiB L1s completely but
+  // only displaces part of the 128 KiB L2 between runs (paper Section 5.4).
+  l2_.Pollute(kPolluteBaseL2, 0.5);
+  bpred_.Reset();
+}
+
+void Machine::InvalidateCaches() {
+  l1i_.InvalidateAll();
+  l1d_.InvalidateAll();
+  l2_.InvalidateAll();
+  bpred_.Reset();
+}
+
+void Machine::ResetStats() {
+  l1i_.ResetStats();
+  l1d_.ResetStats();
+  l2_.ResetStats();
+}
+
+}  // namespace pmk

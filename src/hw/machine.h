@@ -1,0 +1,109 @@
+// The modelled ARM1136-class machine.
+//
+// Composes split L1 instruction/data caches (way-lockable), an optional
+// unified L2, a branch predictor, the main-memory latency model, an interrupt
+// controller and an interval timer. All kernel execution costs are charged
+// through this class; it is the single source of truth for the cycle counter
+// (the analogue of the ARM1136 PMU cycle counter the paper measures with).
+
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/hw/branch_predictor.h"
+#include "src/hw/cache.h"
+#include "src/hw/cycles.h"
+#include "src/hw/irq.h"
+#include "src/hw/memory.h"
+
+namespace pmk {
+
+struct MachineConfig {
+  ClockSpec clock;
+  CacheConfig l1i{.name = "L1I", .size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32};
+  CacheConfig l1d{.name = "L1D", .size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32};
+  CacheConfig l2{.name = "L2", .size_bytes = 128 * 1024, .ways = 8, .line_bytes = 32};
+  bool l2_enabled = false;
+  BranchPredictorConfig bpred;
+  MemoryConfig memory;
+  Cycles timer_period = 0;  // 0 = no periodic timer
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  // --- Cost-charging interface (used by the kernel IR executor) ---
+
+  // Fetches and executes |n_instr| sequential 4-byte instructions starting at
+  // |addr|: 1 cycle per instruction plus I-cache refill penalties.
+  void InstrFetch(Addr addr, std::uint32_t n_instr);
+
+  // One data access (load or store). The access cycle itself is accounted as
+  // part of the instruction; this charges only refill penalties.
+  void DataAccess(Addr addr, bool write);
+
+  // Branch terminating the block at |pc| with actual direction |taken|.
+  void Branch(Addr pc, BranchKind kind, bool taken);
+
+  // Charges |n| raw cycles (e.g. coprocessor operations, TLB maintenance).
+  void RawCycles(Cycles n);
+
+  // --- Cache pinning (paper Section 4) ---
+
+  // Locks |ways| low ways of both L1 caches and installs the given line
+  // addresses into them. Lines must fit within the locked ways.
+  void PinL1(std::span<const Addr> icache_lines, std::span<const Addr> dcache_lines,
+             std::uint32_t ways);
+  void UnpinL1();
+
+  // Locks the given lines into |ways| ways of the L2 — the paper's "lock the
+  // entire seL4 microkernel into the L2 cache" future-work option (Sections
+  // 4, 6.4, 8). Lines that overflow the locked ways' capacity in their set
+  // are skipped; returns the number of lines actually pinned. Only
+  // meaningful with the L2 enabled.
+  std::size_t PinL2Lines(std::span<const Addr> lines, std::uint32_t ways);
+
+  // --- Worst-case measurement support (paper Section 5.4) ---
+
+  // Fills all caches with garbage and resets the branch predictor, emulating
+  // the cache-polluting test programs used before each measured run.
+  void PolluteCaches();
+  void InvalidateCaches();
+
+  // --- State access ---
+
+  Cycles Now() const { return now_; }
+  const MachineConfig& config() const { return config_; }
+  Cache& l1i() { return l1i_; }
+  Cache& l1d() { return l1d_; }
+  Cache& l2() { return l2_; }
+  BranchPredictor& bpred() { return bpred_; }
+  InterruptController& irq() { return irq_; }
+  IntervalTimer& timer() { return timer_; }
+
+  void set_l2_enabled(bool enabled) { config_.l2_enabled = enabled; }
+  bool l2_enabled() const { return config_.l2_enabled; }
+
+  void ResetStats();
+
+ private:
+  // Refill penalty for a line missing in an L1 cache.
+  Cycles MissPenalty(Addr addr);
+  void Advance(Cycles n);
+
+  MachineConfig config_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  BranchPredictor bpred_;
+  InterruptController irq_;
+  IntervalTimer timer_;
+  Cycles now_ = 0;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_HW_MACHINE_H_

@@ -1,0 +1,122 @@
+#include "src/kernel/cap.h"
+
+#include <cassert>
+
+namespace pmk {
+
+void Mdb::InsertChild(CapSlot* parent, CapSlot* child) {
+  assert(!parent->IsNull());
+  assert(!child->cap.IsNull());
+  child->mdb_depth = static_cast<std::uint16_t>(parent->mdb_depth + 1);
+  child->mdb_prev = parent;
+  child->mdb_next = parent->mdb_next;
+  if (parent->mdb_next != nullptr) {
+    parent->mdb_next->mdb_prev = child;
+  }
+  parent->mdb_next = child;
+}
+
+void Mdb::InsertSibling(CapSlot* original, CapSlot* sibling) {
+  assert(!original->IsNull());
+  assert(!sibling->cap.IsNull());
+  sibling->mdb_depth = original->mdb_depth;
+  sibling->mdb_prev = original;
+  sibling->mdb_next = original->mdb_next;
+  if (original->mdb_next != nullptr) {
+    original->mdb_next->mdb_prev = sibling;
+  }
+  original->mdb_next = sibling;
+}
+
+void Mdb::Remove(CapSlot* slot) {
+  // Reparent the slot's descendants one level up so depth contiguity (and
+  // with it descendant enumeration) stays intact.
+  for (CapSlot* n = slot->mdb_next; n != nullptr && n->mdb_depth > slot->mdb_depth;
+       n = n->mdb_next) {
+    n->mdb_depth--;
+  }
+  if (slot->mdb_prev != nullptr) {
+    slot->mdb_prev->mdb_next = slot->mdb_next;
+  }
+  if (slot->mdb_next != nullptr) {
+    slot->mdb_next->mdb_prev = slot->mdb_prev;
+  }
+  slot->mdb_prev = nullptr;
+  slot->mdb_next = nullptr;
+  slot->mdb_depth = 0;
+  slot->cap = Cap{};
+}
+
+namespace {
+// Object identity is (type, address): the first object retyped from an
+// untyped region shares the region's base address, but an untyped cap is
+// never "the same object" as a cap to a child (seL4's sameObjectAs).
+bool SameObject(const Cap& a, const Cap& b) {
+  return a.obj == b.obj && a.type == b.type;
+}
+}  // namespace
+
+bool Mdb::IsFinal(const CapSlot* slot) {
+  assert(!slot->IsNull());
+  const CapSlot* p = slot->mdb_prev;
+  const CapSlot* n = slot->mdb_next;
+  if (p != nullptr && !p->IsNull() && SameObject(p->cap, slot->cap)) {
+    return false;
+  }
+  if (n != nullptr && !n->IsNull() && SameObject(n->cap, slot->cap)) {
+    return false;
+  }
+  return true;
+}
+
+void Mdb::Replace(CapSlot* old_slot, CapSlot* new_slot) {
+  assert(!old_slot->IsNull());
+  assert(new_slot->IsNull());
+  new_slot->cap = old_slot->cap;
+  new_slot->mdb_prev = old_slot->mdb_prev;
+  new_slot->mdb_next = old_slot->mdb_next;
+  new_slot->mdb_depth = old_slot->mdb_depth;
+  if (new_slot->mdb_prev != nullptr) {
+    new_slot->mdb_prev->mdb_next = new_slot;
+  }
+  if (new_slot->mdb_next != nullptr) {
+    new_slot->mdb_next->mdb_prev = new_slot;
+  }
+  old_slot->cap = Cap{};
+  old_slot->mdb_prev = nullptr;
+  old_slot->mdb_next = nullptr;
+  old_slot->mdb_depth = 0;
+}
+
+bool Mdb::HasChildren(const CapSlot* slot) {
+  return slot->mdb_next != nullptr && slot->mdb_next->mdb_depth > slot->mdb_depth;
+}
+
+CapSlot* Mdb::FirstDescendant(const CapSlot* slot) {
+  CapSlot* n = slot->mdb_next;
+  return (n != nullptr && n->mdb_depth > slot->mdb_depth) ? n : nullptr;
+}
+
+CapSlot* Mdb::NextDescendant(const CapSlot* root, const CapSlot* cur) {
+  CapSlot* n = cur->mdb_next;
+  return (n != nullptr && n->mdb_depth > root->mdb_depth) ? n : nullptr;
+}
+
+bool Mdb::WellFormedAt(const CapSlot* slot) {
+  if (slot->IsNull()) {
+    return slot->mdb_prev == nullptr && slot->mdb_next == nullptr;
+  }
+  if (slot->mdb_prev != nullptr && slot->mdb_prev->mdb_next != slot) {
+    return false;
+  }
+  if (slot->mdb_next != nullptr && slot->mdb_next->mdb_prev != slot) {
+    return false;
+  }
+  if (slot->mdb_next != nullptr &&
+      slot->mdb_next->mdb_depth > slot->mdb_depth + 1) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pmk

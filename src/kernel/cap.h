@@ -1,0 +1,55 @@
+// Mapping database (MDB): seL4's capability derivation tree.
+//
+// All capabilities are threaded on a global doubly-linked list in derivation
+// order: a cap's descendants follow it contiguously with strictly greater
+// depth, and caps referring to the same object are adjacent. This gives O(1)
+// insert/remove/finality checks and linear descendant enumeration for revoke
+// — the enumeration the paper makes preemptible (Section 3.4).
+//
+// These helpers are purely functional; callers in src/kernel charge the
+// memory-access costs of touching slots through the executor.
+
+#ifndef SRC_KERNEL_CAP_H_
+#define SRC_KERNEL_CAP_H_
+
+#include "src/kernel/objects.h"
+
+namespace pmk {
+
+class Mdb {
+ public:
+  // Links |child| (already holding its cap) as a derived child of |parent|.
+  static void InsertChild(CapSlot* parent, CapSlot* child);
+
+  // Links |sibling| as a copy at the same depth as |original| (e.g. plain
+  // cap copies). Same-object contiguity is preserved.
+  static void InsertSibling(CapSlot* original, CapSlot* sibling);
+
+  // Unlinks |slot| from the list and nulls its cap.
+  static void Remove(CapSlot* slot);
+
+  // Moves |old_slot|'s cap and list position to |new_slot| (CNode Move).
+  static void Replace(CapSlot* old_slot, CapSlot* new_slot);
+
+  // True if |slot| holds the only cap to its object. Relies on same-object
+  // caps being adjacent on the list.
+  static bool IsFinal(const CapSlot* slot);
+
+  // True if |slot| has derived descendants.
+  static bool HasChildren(const CapSlot* slot);
+
+  // First descendant of |slot|, or nullptr.
+  static CapSlot* FirstDescendant(const CapSlot* slot);
+
+  // Next descendant of |root| after |cur| (both already descendants), or
+  // nullptr when |cur| was the last one.
+  static CapSlot* NextDescendant(const CapSlot* root, const CapSlot* cur);
+
+  // Validates list-structure invariants around |slot| (well-formed back
+  // pointers, depth monotonicity). Used by the invariant checker.
+  static bool WellFormedAt(const CapSlot* slot);
+};
+
+}  // namespace pmk
+
+#endif  // SRC_KERNEL_CAP_H_

@@ -1,0 +1,218 @@
+// Runtime checks of the kernel invariants the seL4 proof maintains
+// (Section 2.2) plus the new invariants the paper's changes introduce:
+// Benno scheduling's "run queue holds only runnable threads" (Section 3.1)
+// and "the bitmap precisely reflects the run queues" (Section 3.2).
+//
+// CheckInvariants() may be called at any kernel-idle instant (between kernel
+// entries); the property tests call it at every preemption point boundary.
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/kernel/kernel.h"
+
+namespace pmk {
+
+namespace {
+[[noreturn]] void Violate(const std::string& what) {
+  throw std::logic_error("kernel invariant violated: " + what);
+}
+}  // namespace
+
+void Kernel::CheckInvariants() const {
+  // --- The running thread is runnable (or the idle thread) ---
+  if (current_ != nullptr && current_ != idle_ &&
+      !(current_->state == ThreadState::kRunning || current_->state == ThreadState::kRestart)) {
+    Violate("current thread is not runnable: " +
+            std::string(ThreadStateName(current_->state)));
+  }
+
+  // --- Run-queue well-formedness and scheduling invariants ---
+  std::set<const TcbObj*> queued;
+  for (std::uint32_t prio = 0; prio < KernelConfig::kNumPriorities; ++prio) {
+    const TcbObj* prev = nullptr;
+    for (const TcbObj* t = queues_[prio].head; t != nullptr; t = t->sched_next) {
+      if (t->sched_prev != prev) {
+        Violate("run queue back-pointer broken at prio " + std::to_string(prio));
+      }
+      if (t->prio != prio) {
+        Violate("thread queued at wrong priority");
+      }
+      if (!t->in_run_queue) {
+        Violate("queued thread not flagged in_run_queue");
+      }
+      if (!queued.insert(t).second) {
+        Violate("thread appears twice in run queues (circular link?)");
+      }
+      if (config_.scheduler == SchedulerKind::kBenno &&
+          !(t->state == ThreadState::kRunning || t->state == ThreadState::kRestart)) {
+        Violate("Benno invariant: non-runnable thread on the run queue: " +
+                std::string(ThreadStateName(t->state)));
+      }
+      prev = t;
+    }
+    if (queues_[prio].tail != prev) {
+      Violate("run queue tail pointer broken at prio " + std::to_string(prio));
+    }
+    // Bitmap agreement (Section 3.2).
+    if (config_.scheduler_bitmap) {
+      const bool has = queues_[prio].head != nullptr;
+      const bool l2 = (bitmap_l2_[prio / 32] >> (prio % 32)) & 1u;
+      if (has != l2) {
+        Violate("bitmap L2 disagrees with queue at prio " + std::to_string(prio));
+      }
+    }
+  }
+  if (config_.scheduler_bitmap) {
+    for (std::uint32_t bucket = 0; bucket < 8; ++bucket) {
+      const bool l1 = (bitmap_l1_ >> bucket) & 1u;
+      if (l1 != (bitmap_l2_[bucket] != 0)) {
+        Violate("bitmap L1 disagrees with L2 bucket " + std::to_string(bucket));
+      }
+    }
+  }
+
+  // --- Per-thread state consistency; all-runnable-threads-reachable ---
+  for (const auto& [base, obj] : objs_.objects()) {
+    const TcbObj* t = dynamic_cast<const TcbObj*>(obj.get());
+    if (t == nullptr) {
+      continue;
+    }
+    const bool runnable =
+        t->state == ThreadState::kRunning || t->state == ThreadState::kRestart;
+    if (t->in_run_queue != (queued.count(t) != 0)) {
+      Violate("in_run_queue flag disagrees with queue membership");
+    }
+    // "All runnable threads are either on the run queue or currently
+    // executing" — holds for both schedulers; a pending direct-switch target
+    // is about to become current and is exempt mid-entry.
+    if (runnable && !t->in_run_queue && t != current_ && t != sched_action_) {
+      Violate("runnable thread neither queued nor current");
+    }
+    const bool blocked = t->state == ThreadState::kBlockedOnSend ||
+                         t->state == ThreadState::kBlockedOnRecv;
+    if (blocked && t->blocked_on == 0) {
+      Violate("blocked thread not on any endpoint");
+    }
+    if (!blocked && t->blocked_on != 0) {
+      Violate("non-blocked thread still linked to an endpoint");
+    }
+    if (blocked && t->in_run_queue && config_.scheduler == SchedulerKind::kBenno) {
+      Violate("Benno invariant: blocked thread in run queue");
+    }
+  }
+
+  // --- Endpoint queues ---
+  for (const auto& [base, obj] : objs_.objects()) {
+    const EndpointObj* ep = dynamic_cast<const EndpointObj*>(obj.get());
+    if (ep == nullptr) {
+      continue;
+    }
+    std::uint32_t n = 0;
+    const TcbObj* prev = nullptr;
+    std::set<const TcbObj*> seen;
+    for (const TcbObj* t = ep->q_head; t != nullptr; t = t->ep_next) {
+      if (t->ep_prev != prev) {
+        Violate("endpoint queue back-pointer broken");
+      }
+      if (!seen.insert(t).second) {
+        Violate("endpoint queue circular");
+      }
+      if (t->blocked_on != ep->base) {
+        Violate("queued thread's blocked_on does not name this endpoint");
+      }
+      const ThreadState expect = ep->qstate == EndpointObj::QState::kSend
+                                     ? ThreadState::kBlockedOnSend
+                                     : ThreadState::kBlockedOnRecv;
+      if (t->state != expect) {
+        Violate("endpoint queue member in wrong state: " +
+                std::string(ThreadStateName(t->state)));
+      }
+      prev = t;
+      n++;
+    }
+    if (ep->q_tail != prev) {
+      Violate("endpoint queue tail broken");
+    }
+    if (n != ep->q_len) {
+      Violate("endpoint q_len bookkeeping wrong");
+    }
+    if (n == 0 && ep->qstate != EndpointObj::QState::kIdle) {
+      Violate("empty endpoint queue not idle");
+    }
+    if (n != 0 && ep->qstate == EndpointObj::QState::kIdle) {
+      Violate("idle endpoint with queued threads");
+    }
+    if (ep->abort.valid) {
+      if (!ep->active ? false : true) {
+        // A badged abort may be in progress on an active endpoint; its
+        // resume pointer must be in the queue or null.
+        if (ep->abort.resume != nullptr && seen.count(ep->abort.resume) == 0) {
+          Violate("badged-abort resume pointer not in endpoint queue");
+        }
+      }
+    }
+  }
+
+  // --- MDB (derivation tree) well-formedness ---
+  for (const auto& [base, obj] : objs_.objects()) {
+    const CNodeObj* cn = dynamic_cast<const CNodeObj*>(obj.get());
+    if (cn == nullptr) {
+      continue;
+    }
+    for (const CapSlot& slot : cn->slots) {
+      if (!Mdb::WellFormedAt(&slot)) {
+        Violate("MDB link structure broken in CNode at " + std::to_string(cn->base));
+      }
+      // Caps must reference live objects (untyped regions exempt: their
+      // object identity is the region itself).
+      if (!slot.IsNull() && slot.cap.type != ObjType::kNull) {
+        if (objs_.Find(slot.cap.obj) == nullptr) {
+          std::ostringstream os;
+          os << "cap to dead object: " << ObjTypeName(slot.cap.type) << " at " << slot.cap.obj;
+          Violate(os.str());
+        }
+      }
+    }
+  }
+
+  // --- Page-table shadow consistency (Section 3.6) ---
+  if (config_.vspace == VSpaceKind::kShadow) {
+    for (const auto& [base, obj] : objs_.objects()) {
+      const PageTableObj* pt = dynamic_cast<const PageTableObj*>(obj.get());
+      if (pt == nullptr) {
+        continue;
+      }
+      std::uint32_t mapped = 0;
+      for (std::uint32_t i = 0; i < PageTableObj::kEntries; ++i) {
+        if (pt->pte[i] != 0) {
+          mapped++;
+          if (i < pt->lowest_mapped) {
+            Violate("page-table lowest_mapped above a live entry");
+          }
+          if (pt->shadow[i] == nullptr) {
+            Violate("mapped PTE without shadow back-pointer");
+          }
+          if (pt->shadow[i]->cap.obj != pt->pte[i]) {
+            Violate("shadow back-pointer names the wrong frame cap");
+          }
+        } else if (pt->shadow[i] != nullptr) {
+          Violate("empty PTE with stale shadow back-pointer");
+        }
+      }
+      if (mapped != pt->mapped_count) {
+        Violate("page-table mapped_count bookkeeping wrong");
+      }
+    }
+  }
+
+  // --- Untyped watermarks ---
+  for (const auto& [base, ut] : objs_.untypeds()) {
+    if (ut->watermark < ut->base || ut->watermark > ut->End()) {
+      Violate("untyped watermark outside its region");
+    }
+  }
+}
+
+}  // namespace pmk

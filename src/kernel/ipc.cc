@@ -1,0 +1,359 @@
+// IPC: endpoint queues, message/cap transfer, the atomic send-receive
+// operation, the fastpath (Section 6.1) and interrupt notification delivery.
+
+#include <cassert>
+
+#include "src/kernel/kernel.h"
+
+namespace pmk {
+
+void Kernel::EpEnqueue(EndpointObj* ep, TcbObj* t, EndpointObj::QState as) {
+  assert(ep->qstate == EndpointObj::QState::kIdle || ep->qstate == as);
+  ep->qstate = as;
+  t->ep_prev = ep->q_tail;
+  t->ep_next = nullptr;
+  if (ep->q_tail != nullptr) {
+    ep->q_tail->ep_next = t;
+  } else {
+    ep->q_head = t;
+  }
+  ep->q_tail = t;
+  ep->q_len++;
+  t->blocked_on = ep->base;
+}
+
+void Kernel::EpRemove(EndpointObj* ep, TcbObj* t) {
+  if (t->ep_prev != nullptr) {
+    t->ep_prev->ep_next = t->ep_next;
+  } else {
+    ep->q_head = t->ep_next;
+  }
+  if (t->ep_next != nullptr) {
+    t->ep_next->ep_prev = t->ep_prev;
+  } else {
+    ep->q_tail = t->ep_prev;
+  }
+  t->ep_prev = t->ep_next = nullptr;
+  t->blocked_on = 0;
+  ep->q_len--;
+  if (ep->q_head == nullptr) {
+    ep->qstate = EndpointObj::QState::kIdle;
+  }
+}
+
+OpStatus Kernel::DoTransfer(TcbObj* from, TcbObj* to, std::uint32_t msg_len,
+                            const SyscallArgs& args, bool grant) {
+  const auto& t = b().xfer;
+  x(t.entry);
+  T(from->base + 48);
+  T(to->base + 48, /*write=*/true);
+  exec_.SetReg(1, msg_len);
+
+  // Message registers: the first 8 are stored functionally; the remainder
+  // (up to kMaxMsgWords) live in the IPC buffer and are charged only.
+  for (std::uint32_t w = 0; w < msg_len; ++w) {
+    x(t.loop);
+    T(from->base + 64 + w * 8);
+    T(to->base + 64 + w * 8, /*write=*/true);
+    if (w < to->mrs.size()) {
+      to->mrs[w] = from->mrs[w];
+    }
+  }
+  to->msg_len = msg_len;
+
+  x(t.caps_check);
+  T(from->base + 56);
+  const std::uint32_t ncaps = grant ? args.n_extra : 0;
+  exec_.SetReg(2, ncaps);
+
+  for (std::uint32_t i = 0; i < ncaps; ++i) {
+    x(t.cap_one);
+    CapSlot* src = DecodeCap(from, args.extra_caps[i]);
+    x(t.cap_ins);
+    if (src != nullptr) {
+      // Receive slot: a fixed slot in the receiver's root CNode. Transfer
+      // only into an empty slot.
+      CNodeObj* root = objs_.Get<CNodeObj>(to->cspace_root);
+      if (root != nullptr) {
+        const std::uint32_t dest = (to->recv_slot + i) % root->NumSlots();
+        CapSlot* dslot = &root->slots[dest];
+        T(dslot->addr, /*write=*/true);
+        T(src->addr);
+        if (dslot->IsNull()) {
+          dslot->cap = src->cap;
+          Mdb::InsertChild(src, dslot);
+          T(src->addr, /*write=*/true);
+        }
+      }
+    }
+  }
+  x(t.done);
+  return OpStatus::kDone;
+}
+
+OpStatus Kernel::IpcSend(EndpointObj* ep, const Cap& ep_cap, bool is_call,
+                         const SyscallArgs& args) {
+  const auto& i = b().send;
+  x(i.entry);
+  T(ep->base);
+  T(current_->base);
+  x(i.active);
+  if (ep == nullptr || !ep->active) {
+    x(i.err);
+    T(current_->base, /*write=*/true);
+    current_->last_error = KError::kDeleted;
+    return OpStatus::kDone;
+  }
+  x(i.has_recv);
+  T(ep->base);
+  if (ep->qstate == EndpointObj::QState::kRecv && ep->q_head != nullptr) {
+    x(i.deq);
+    TcbObj* receiver = ep->q_head;
+    T(receiver->base, /*write=*/true);
+    T(ep->base, /*write=*/true);
+    EpRemove(ep, receiver);
+    receiver->state = ThreadState::kRunning;
+    receiver->recv_badge = ep_cap.badge;
+
+    x(i.xfer);
+    DoTransfer(current_, receiver, args.msg_len, args, ep_cap.rights.grant);
+
+    x(i.wake);
+    AttemptSwitch(receiver);
+
+    x(i.reply_setup);
+    if (is_call) {
+      T(receiver->base, /*write=*/true);
+      T(current_->base, /*write=*/true);
+      receiver->reply_to = current_;
+      x(i.block_caller);
+      T(current_->base, /*write=*/true);
+      current_->state = ThreadState::kBlockedOnReply;
+      if (sched_action_ == nullptr) {
+        choose_new_ = true;  // caller blocked; if no direct switch, pick anew
+      }
+    } else {
+      x(i.no_reply);
+    }
+    x(i.ret);
+    return OpStatus::kDone;
+  }
+  // No receiver: block the sender on the endpoint.
+  x(i.queue);
+  T(ep->base, /*write=*/true);
+  T(current_->base, /*write=*/true);
+  if (ep->q_tail != nullptr) {
+    T(ep->q_tail->base, /*write=*/true);
+  }
+  current_->state = ThreadState::kBlockedOnSend;
+  current_->blocked_badge = ep_cap.badge;
+  current_->blocked_is_call = is_call;
+  current_->msg_len = args.msg_len;
+  EpEnqueue(ep, current_, EndpointObj::QState::kSend);
+  choose_new_ = true;
+  x(i.ret);
+  return OpStatus::kDone;
+}
+
+OpStatus Kernel::IpcRecv(EndpointObj* ep, const SyscallArgs& args) {
+  const auto& i = b().recv;
+  x(i.entry);
+  T(ep->base);
+  T(current_->base);
+  x(i.active);
+  if (ep == nullptr || !ep->active) {
+    x(i.err);
+    T(current_->base, /*write=*/true);
+    current_->last_error = KError::kDeleted;
+    return OpStatus::kDone;
+  }
+  x(i.notif);
+  T(ep->base);
+  if (ep->pending_notifications != 0) {
+    x(i.notif_deliver);
+    T(current_->base, /*write=*/true);
+    const int bit = std::countr_zero(ep->pending_notifications);
+    ep->pending_notifications &= ep->pending_notifications - 1;
+    current_->recv_badge = static_cast<std::uint64_t>(bit);
+    current_->msg_len = 0;
+    return OpStatus::kDone;
+  }
+  x(i.has_send);
+  T(ep->base);
+  if (ep->qstate == EndpointObj::QState::kSend && ep->q_head != nullptr) {
+    x(i.deq);
+    TcbObj* sender = ep->q_head;
+    T(sender->base, /*write=*/true);
+    T(ep->base, /*write=*/true);
+    EpRemove(ep, sender);
+    current_->recv_badge = sender->blocked_badge;
+
+    x(i.xfer);
+    SyscallArgs sender_args;  // queued senders transfer message registers only
+    DoTransfer(sender, current_, sender->msg_len, sender_args, /*grant=*/false);
+
+    x(i.sender_call);
+    T(sender->base);
+    if (sender->blocked_is_call) {
+      x(i.sender_set);
+      T(sender->base, /*write=*/true);
+      T(current_->base, /*write=*/true);
+      sender->state = ThreadState::kBlockedOnReply;
+      current_->reply_to = sender;
+    } else {
+      sender->state = ThreadState::kRunning;
+      x(i.sender_wake);
+      AttemptSwitch(sender);
+    }
+    x(i.ret);
+    return OpStatus::kDone;
+  }
+  // Nobody sending: block the receiver.
+  x(i.queue);
+  T(ep->base, /*write=*/true);
+  T(current_->base, /*write=*/true);
+  if (ep->q_tail != nullptr) {
+    T(ep->q_tail->base, /*write=*/true);
+  }
+  current_->state = ThreadState::kBlockedOnRecv;
+  current_->msg_len = args.msg_len;
+  EpEnqueue(ep, current_, EndpointObj::QState::kRecv);
+  choose_new_ = true;
+  x(i.ret);
+  return OpStatus::kDone;
+}
+
+void Kernel::DoReply(const SyscallArgs& args) {
+  const auto& r = b().reply;
+  x(r.entry);
+  T(current_->base);
+  TcbObj* caller = current_->reply_to;
+  if (caller == nullptr || caller->state != ThreadState::kBlockedOnReply) {
+    x(r.none);
+    return;
+  }
+  current_->reply_to = nullptr;
+  x(r.xfer);
+  DoTransfer(current_, caller, args.msg_len, args, /*grant=*/false);
+  caller->state = ThreadState::kRunning;
+  x(r.wake);
+  AttemptSwitch(caller);
+  x(r.ret);
+  T(caller->base, /*write=*/true);
+}
+
+bool Kernel::Fastpath(std::uint32_t cptr, const SyscallArgs& args) {
+  const auto& fp = b().fast;
+  x(fp.entry);
+  // One-level decode (the caller verified the cspace shape).
+  CNodeObj* cn = objs_.Get<CNodeObj>(current_->cspace_root);
+  const std::uint32_t index = cptr & ((1u << cn->radix_bits) - 1);
+  CapSlot* slot = &cn->slots[index];
+  T(slot->addr);
+  EndpointObj* ep = objs_.Get<EndpointObj>(slot->cap.obj);
+  T(ep->base);
+  TcbObj* receiver = ep->q_head;
+  bool ok = ep->active && ep->qstate == EndpointObj::QState::kRecv && receiver != nullptr;
+  if (ok) {
+    T(receiver->base);
+    ok = receiver->prio >= current_->prio;
+  }
+  if (!ok) {
+    x(fp.miss);
+    return false;
+  }
+  x(fp.do_it);
+  T(ep->base, /*write=*/true);
+  T(receiver->base, /*write=*/true);
+  EpRemove(ep, receiver);
+  for (std::uint32_t w = 0; w < args.msg_len && w < 4; ++w) {
+    T(receiver->base + 64 + w * 8, /*write=*/true);
+    receiver->mrs[w] = current_->mrs[w];
+  }
+  receiver->msg_len = args.msg_len;
+  receiver->recv_badge = slot->cap.badge;
+  receiver->state = ThreadState::kRunning;
+  receiver->reply_to = current_;
+  current_->state = ThreadState::kBlockedOnReply;
+  T(current_->base, /*write=*/true);
+  // Direct switch, bypassing the scheduler entirely.
+  current_ = receiver;
+  sched_action_ = nullptr;
+  choose_new_ = false;
+  fastpath_hits_++;
+  x(fp.hit);
+  T(receiver->base, /*write=*/true);
+  return true;
+}
+
+void Kernel::NotifyEp(EndpointObj* ep, std::uint64_t badge) {
+  const auto& n = b().ntf;
+  x(n.entry);
+  T(ep->base);
+  T(current_->base);
+  x(n.waiter);
+  if (ep->qstate == EndpointObj::QState::kRecv && ep->q_head != nullptr) {
+    x(n.deq);
+    TcbObj* waiter = ep->q_head;
+    T(waiter->base, /*write=*/true);
+    T(ep->base, /*write=*/true);
+    EpRemove(ep, waiter);
+    waiter->state = ThreadState::kRunning;
+    waiter->recv_badge = badge;
+    waiter->msg_len = 0;
+    x(n.wake);
+    AttemptSwitch(waiter);
+  } else {
+    x(n.pend);
+    T(ep->base, /*write=*/true);
+    ep->pending_notifications |= (std::uint64_t{1} << (badge % 64));
+  }
+  x(n.ret);
+}
+
+void Kernel::HandleInterruptImpl() {
+  const auto& h = b().hirq;
+  x(h.entry);
+  const auto line = machine_->irq().PendingLine();
+  x(h.valid);
+  const bool timeslicing = config_.kernel_timer_line != KernelConfig::kNoKernelTimer;
+  if (timeslicing && line.has_value() && *line == config_.kernel_timer_line) {
+    // The kernel's own preemption timer: timeslice accounting (round-robin
+    // among equal priorities). The line stays unmasked; it fires again next
+    // period.
+    const Cycles asserted = machine_->irq().Acknowledge(*line);
+    irq_latencies_.push_back(machine_->Now() - asserted);
+    x(h.d_timer);
+    x(h.tick);
+    T(current_->base, /*write=*/true);
+    if (current_ != idle_ && current_->timeslice > 0 && --current_->timeslice == 0) {
+      current_->timeslice = config_.timeslice_ticks;
+      choose_new_ = true;  // requeue at the tail; pick the next head
+    }
+    x(h.ret);
+    return;
+  }
+  if (line.has_value() && irq_bindings_[*line] != 0) {
+    if (timeslicing) {
+      x(h.d_timer);  // checked and found to be a device interrupt
+    }
+    const Cycles asserted = machine_->irq().Acknowledge(*line);
+    machine_->irq().Mask(*line);
+    irq_latencies_.push_back(machine_->Now() - asserted);
+    x(h.binding);
+    T(image_->SymAddr(image_->syms.irq_bindings) + static_cast<Addr>(*line) * 8);
+    EndpointObj* ep = objs_.Get<EndpointObj>(irq_bindings_[*line]);
+    x(h.notify);
+    NotifyEp(ep, *line + 1);
+  } else {
+    if (line.has_value()) {
+      const Cycles asserted = machine_->irq().Acknowledge(*line);
+      machine_->irq().Mask(*line);
+      irq_latencies_.push_back(machine_->Now() - asserted);
+    }
+    x(h.spurious);
+  }
+  x(h.ret);
+}
+
+}  // namespace pmk

@@ -1,0 +1,252 @@
+// Kernel objects, capabilities and the object table.
+//
+// Mirrors seL4's object model: all kernel memory is typed from untyped
+// regions; capabilities (16 bytes: one word of metadata too small for frame
+// mapping info, which motivates the ASID / shadow-page-table designs of
+// Section 3.6) live in CNode slots and are linked into a derivation tree
+// (seL4's MDB) supporting delete and revoke.
+//
+// Objects carry the incremental-consistency resume state the paper stores
+// "within the object itself": untyped clearing progress (Section 3.5), the
+// endpoint badged-abort four-tuple (Section 3.4), and page tables' lowest
+// mapped index (Section 3.6).
+
+#ifndef SRC_KERNEL_OBJECTS_H_
+#define SRC_KERNEL_OBJECTS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/kernel/config.h"
+#include "src/kernel/types.h"
+
+namespace pmk {
+
+struct TcbObj;
+
+// A capability: type, object reference, badge, rights. seL4 packs this into
+// 16 bytes (8 bytes of MDB links + 8 bytes of payload); we model the size for
+// cache purposes via slot addresses, not via actual packing.
+struct Cap {
+  ObjType type = ObjType::kNull;
+  Addr obj = 0;
+  std::uint64_t badge = kBadgeNone;
+  CapRights rights;
+
+  bool IsNull() const { return type == ObjType::kNull; }
+};
+
+// A CNode slot holding a capability, threaded into the global mapping
+// database (MDB): a doubly-linked list in derivation order where a cap's
+// descendants follow it contiguously with greater depth.
+struct CapSlot {
+  Cap cap;
+  CapSlot* mdb_prev = nullptr;
+  CapSlot* mdb_next = nullptr;
+  std::uint16_t mdb_depth = 0;
+  Addr addr = 0;  // physical address of this 16-byte slot
+
+  bool IsNull() const { return cap.IsNull(); }
+};
+
+struct KObject {
+  ObjType type = ObjType::kNull;
+  Addr base = 0;
+  std::uint8_t size_bits = 0;
+
+  virtual ~KObject() = default;
+
+  std::uint64_t SizeBytes() const { return std::uint64_t{1} << size_bits; }
+  Addr End() const { return base + SizeBytes(); }
+};
+
+struct UntypedObj : KObject {
+  Addr watermark = 0;  // next free byte within the region (seL4 freeIndex)
+
+  // Retype-in-progress state (Section 3.5): clearing happens before any other
+  // kernel state is modified; its progress lives here so a preempted retype
+  // resumes where it left off when the system call restarts.
+  bool retype_active = false;
+  ObjType retype_type = ObjType::kNull;
+  std::uint8_t retype_bits = 0;
+  Addr retype_base = 0;
+  std::uint64_t cleared_bytes = 0;
+};
+
+struct CNodeObj : KObject {
+  std::uint8_t radix_bits = 0;
+  std::uint8_t guard_bits = 0;
+  std::uint32_t guard_value = 0;
+  std::vector<CapSlot> slots;  // 1 << radix_bits
+
+  std::uint32_t NumSlots() const { return 1u << radix_bits; }
+  Addr SlotAddr(std::uint32_t index) const { return base + static_cast<Addr>(index) * 16; }
+};
+
+struct EndpointObj : KObject {
+  enum class QState : std::uint8_t { kIdle, kSend, kRecv };
+  QState qstate = QState::kIdle;
+  TcbObj* q_head = nullptr;
+  TcbObj* q_tail = nullptr;
+  std::uint32_t q_len = 0;  // bookkeeping mirror (not charged; metadata only)
+
+  // Deactivated at the start of a delete so no thread can start a new IPC on
+  // it (Section 3.3's forward-progress guarantee).
+  bool active = true;
+
+  // Pending IRQ-notification bits (badge = line + 1), delivered on next Recv.
+  std::uint64_t pending_notifications = 0;
+
+  // Badged-abort resume state (Section 3.4): (1) resume point in the list,
+  // (2) end marker fixed when the operation commenced, (3) the badge being
+  // removed, (4) the thread performing the abort.
+  struct AbortState {
+    bool valid = false;
+    std::uint64_t badge = kBadgeNone;
+    TcbObj* resume = nullptr;
+    TcbObj* end_marker = nullptr;
+    TcbObj* aborter = nullptr;
+  };
+  AbortState abort;
+};
+
+struct TcbObj : KObject {
+  ThreadState state = ThreadState::kInactive;
+  std::uint8_t prio = 0;
+  Addr cspace_root = 0;  // CNode
+  Addr vspace = 0;       // PageDir (0 = none)
+
+  // Scheduler queue links (intrusive, Section 3.1) + membership flag.
+  TcbObj* sched_next = nullptr;
+  TcbObj* sched_prev = nullptr;
+  bool in_run_queue = false;
+
+  // Endpoint queue links.
+  TcbObj* ep_next = nullptr;
+  TcbObj* ep_prev = nullptr;
+  Addr blocked_on = 0;  // endpoint the thread is queued on
+
+  // IPC state.
+  std::uint64_t blocked_badge = kBadgeNone;  // badge of the blocked send
+  bool blocked_is_call = false;
+  TcbObj* reply_to = nullptr;  // caller awaiting our Reply
+  std::array<std::uint64_t, 8> mrs{};
+  std::uint32_t msg_len = 0;
+  std::uint64_t recv_badge = 0;  // badge/sender info of last received message
+  KError last_error = KError::kOk;
+
+  // Remaining timeslice ticks (kernel preemption timer, round-robin).
+  std::uint32_t timeslice = 5;
+
+  // Receive slot: index in the root CNode where transferred caps land.
+  std::uint32_t recv_slot = 0;
+
+  // Fault handling.
+  std::uint32_t fault_handler_cptr = 0;  // cap address of fault endpoint
+};
+
+struct PageTableObj : KObject {
+  static constexpr std::uint32_t kEntries = 256;  // ARMv6: 1 KiB, 256 x 4 B
+
+  std::array<Addr, kEntries> pte{};          // frame base or 0
+  std::array<CapSlot*, kEntries> shadow{};   // back-pointer to the frame cap
+  std::uint32_t mapped_count = 0;
+  std::uint32_t lowest_mapped = kEntries;    // resume index (Section 3.6)
+
+  bool mapped_in_pd = false;
+  Addr parent_pd = 0;
+  std::uint32_t pd_index = 0;
+
+  Addr PteAddr(std::uint32_t i) const { return base + static_cast<Addr>(i) * 4; }
+  // Shadow stored adjacent to the table itself (Figure 5).
+  Addr ShadowAddr(std::uint32_t i) const { return base + 1024 + static_cast<Addr>(i) * 4; }
+};
+
+struct PageDirObj : KObject {
+  static constexpr std::uint32_t kEntries = 4096;  // ARMv6: 16 KiB, 4096 x 4 B
+  // Top 256 entries (256 MiB) are the kernel's global mappings.
+  static constexpr std::uint32_t kUserEntries = kEntries - 256;
+
+  std::array<Addr, kEntries> pde{};         // page table (or section frame) base
+  std::array<bool, kEntries> is_section{};  // large frame mapped directly
+  std::array<CapSlot*, kEntries> shadow{};  // back-pointer for sections / PTs
+  std::uint32_t mapped_count = 0;           // user entries only
+  std::uint32_t lowest_mapped = kUserEntries;
+
+  bool global_mappings_present = false;  // invariant: true once created
+  std::uint32_t asid = 0;                // ASID variant only (0 = none)
+
+  Addr PdeAddr(std::uint32_t i) const { return base + static_cast<Addr>(i) * 4; }
+  Addr ShadowAddr(std::uint32_t i) const { return base + 16 * 1024 + static_cast<Addr>(i) * 4; }
+};
+
+struct FrameObj : KObject {
+  bool mapped = false;
+  std::uint32_t asid = 0;   // ASID variant
+  Addr mapped_pd = 0;       // shadow variant: containing address space
+  Addr vaddr = 0;
+};
+
+struct AsidPoolObj : KObject {
+  static constexpr std::uint32_t kEntries = 1024;
+  std::array<Addr, kEntries> pd{};  // PageDir base or 0
+
+  Addr EntryAddr(std::uint32_t i) const { return base + static_cast<Addr>(i) * 4; }
+};
+
+struct IrqHandlerObj : KObject {
+  std::uint32_t line = 0;
+  Addr notify_ep = 0;  // endpoint notified on interrupt (0 = unbound)
+};
+
+// Returns the object's size in bits for allocation/alignment. PT/PD sizes
+// double in the shadow-page-table configuration (the paper's Section 3.6
+// memory-overhead discussion).
+std::uint8_t ObjSizeBits(ObjType type, std::uint8_t user_bits, const KernelConfig& config);
+
+// Owns all kernel objects, keyed by base address. Enforces the paper's
+// object-alignment and no-overlap invariants on insertion (Section 2.2).
+// Untyped regions live in a separate index because the objects retyped from
+// an untyped legitimately share addresses with it (the first child starts at
+// the region base).
+class ObjectTable {
+ public:
+  // Inserts |obj|; aborts (throws std::logic_error) on misalignment/overlap.
+  KObject* Insert(std::unique_ptr<KObject> obj);
+  void Remove(Addr base);
+
+  // Finds the non-untyped object at |base|, falling back to an untyped
+  // region starting exactly there.
+  KObject* Find(Addr base) const;
+
+  template <typename T>
+  T* Get(Addr base) const {
+    if constexpr (std::is_same_v<T, UntypedObj>) {
+      const auto it = untypeds_.find(base);
+      return it == untypeds_.end() ? nullptr : it->second.get();
+    } else {
+      KObject* o = Find(base);
+      return dynamic_cast<T*>(o);
+    }
+  }
+
+  std::size_t Count() const { return objects_.size() + untypeds_.size(); }
+
+  // True if [base, base+size) overlaps any existing non-untyped object.
+  bool Overlaps(Addr base, std::uint64_t size, Addr ignore = 0) const;
+
+  const std::map<Addr, std::unique_ptr<KObject>>& objects() const { return objects_; }
+  const std::map<Addr, std::unique_ptr<UntypedObj>>& untypeds() const { return untypeds_; }
+
+ private:
+  std::map<Addr, std::unique_ptr<KObject>> objects_;
+  std::map<Addr, std::unique_ptr<UntypedObj>> untypeds_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_KERNEL_OBJECTS_H_

@@ -1,0 +1,267 @@
+// Scheduler: lazy scheduling (Figure 2), Benno scheduling (Figure 3) and the
+// two-level priority bitmap (Section 3.2).
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/kernel/kernel.h"
+
+namespace pmk {
+
+// ---------- Functional queue primitives (uncharged) ----------
+
+void Kernel::QueuePushBack(TcbObj* t) {
+  assert(!t->in_run_queue);
+  RunQueue& q = queues_[t->prio];
+  t->sched_prev = q.tail;
+  t->sched_next = nullptr;
+  if (q.tail != nullptr) {
+    q.tail->sched_next = t;
+  } else {
+    q.head = t;
+  }
+  q.tail = t;
+  t->in_run_queue = true;
+  BitmapSet(t->prio);
+}
+
+void Kernel::QueueRemove(TcbObj* t) {
+  assert(t->in_run_queue);
+  RunQueue& q = queues_[t->prio];
+  if (t->sched_prev != nullptr) {
+    t->sched_prev->sched_next = t->sched_next;
+  } else {
+    q.head = t->sched_next;
+  }
+  if (t->sched_next != nullptr) {
+    t->sched_next->sched_prev = t->sched_prev;
+  } else {
+    q.tail = t->sched_prev;
+  }
+  t->sched_prev = t->sched_next = nullptr;
+  t->in_run_queue = false;
+  BitmapClearIfEmpty(t->prio);
+}
+
+void Kernel::BitmapSet(std::uint8_t prio) {
+  const std::uint32_t bucket = prio / 32u;
+  bitmap_l2_[bucket] |= (1u << (prio % 32u));
+  bitmap_l1_ |= (1u << bucket);
+}
+
+void Kernel::BitmapClearIfEmpty(std::uint8_t prio) {
+  if (queues_[prio].head != nullptr) {
+    return;
+  }
+  const std::uint32_t bucket = prio / 32u;
+  bitmap_l2_[bucket] &= ~(1u << (prio % 32u));
+  if (bitmap_l2_[bucket] == 0) {
+    bitmap_l1_ &= ~(1u << bucket);
+  }
+}
+
+int Kernel::HighestBitmapPrio() const {
+  if (bitmap_l1_ == 0) {
+    return -1;
+  }
+  // Two CLZ instructions: find the highest bucket, then the highest bit.
+  const std::uint32_t bucket = 31u - static_cast<std::uint32_t>(std::countl_zero(bitmap_l1_));
+  const std::uint32_t bit =
+      31u - static_cast<std::uint32_t>(std::countl_zero(bitmap_l2_[bucket]));
+  return static_cast<int>(bucket * 32u + bit);
+}
+
+// ---------- Charged scheduler operations ----------
+
+void Kernel::SchedEnqueue(TcbObj* t, bool allow_current) {
+  const auto& q = b().enq;
+  x(q.entry);
+  T(t->base);
+  const bool skip_current =
+      !allow_current && t == current_ && config_.scheduler == SchedulerKind::kBenno;
+  if (t->in_run_queue || !Runnable(t) || skip_current) {
+    x(q.ret);
+    return;
+  }
+  x(q.link);
+  RunQueue& rq = queues_[t->prio];
+  T(image_->SymAddr(image_->syms.runqueues) + static_cast<Addr>(t->prio) * 8, /*write=*/true);
+  if (rq.tail != nullptr) {
+    T(rq.tail->base, /*write=*/true);
+  }
+  QueuePushBack(t);
+  if (config_.scheduler_bitmap) {
+    x(q.bitmap);
+  }
+  x(q.ret);
+}
+
+void Kernel::SchedDequeue(TcbObj* t) {
+  const auto& q = b().deq;
+  x(q.entry);
+  T(t->base);
+  if (!t->in_run_queue) {
+    x(q.ret);
+    return;
+  }
+  x(q.link);
+  T(image_->SymAddr(image_->syms.runqueues) + static_cast<Addr>(t->prio) * 8, /*write=*/true);
+  if (t->sched_prev != nullptr) {
+    T(t->sched_prev->base, /*write=*/true);
+  } else if (t->sched_next != nullptr) {
+    T(t->sched_next->base, /*write=*/true);
+  }
+  QueueRemove(t);
+  if (config_.scheduler_bitmap) {
+    x(q.bitmap);
+  }
+  x(q.ret);
+}
+
+TcbObj* Kernel::ChooseThread() {
+  const auto& c = b().choose;
+  const Addr queues_base = image_->SymAddr(image_->syms.runqueues);
+
+  if (config_.scheduler == SchedulerKind::kLazy) {
+    // Figure 2: walk priorities; dequeue blocked threads found at the head.
+    x(c.lz_entry);
+    for (int prio = KernelConfig::kNumPriorities - 1; prio >= 0; --prio) {
+      x(c.lz_outer);
+      while (true) {
+        x(c.lz_head);
+        T(queues_base + static_cast<Addr>(prio) * 8);
+        TcbObj* head = queues_[prio].head;
+        if (head == nullptr) {
+          break;
+        }
+        x(c.lz_runnable);
+        T(head->base);
+        T(head->base + 8);
+        if (Runnable(head)) {
+          x(c.lz_found);
+          return head;  // lazy scheduling leaves the thread in the queue
+        }
+        x(c.lz_deq);
+        T(head->base, /*write=*/true);
+        QueueRemove(head);
+      }
+    }
+    x(c.lz_outer);  // final iteration: guard fails, exit to idle
+    x(c.lz_idle);
+    return idle_;
+  }
+
+  if (config_.scheduler_bitmap) {
+    // Figure 3 + Section 3.2: two loads, two CLZ.
+    x(c.bb_entry);
+    const int prio = HighestBitmapPrio();
+    x(c.bb_empty);
+    if (prio < 0) {
+      x(c.bb_idle);
+      return idle_;
+    }
+    x(c.bb_found);
+    TcbObj* t = queues_[prio].head;
+    T(queues_base + static_cast<Addr>(prio) * 8, /*write=*/true);
+    T(t->base, /*write=*/true);
+    QueueRemove(t);  // switchToThread dequeues the chosen thread
+    return t;
+  }
+
+  // Figure 3 without the bitmap: scan priorities for the first head.
+  x(c.bn_entry);
+  TcbObj* found = nullptr;
+  for (int prio = KernelConfig::kNumPriorities - 1; prio >= 0; --prio) {
+    x(c.bn_loop);
+    T(queues_base + static_cast<Addr>(prio) * 8);
+    if (queues_[prio].head != nullptr) {
+      found = queues_[prio].head;
+      break;
+    }
+  }
+  x(c.bn_done);
+  if (found == nullptr) {
+    x(c.bn_idle);
+    return idle_;
+  }
+  x(c.bn_found);
+  T(found->base, /*write=*/true);
+  T(queues_base + static_cast<Addr>(found->prio) * 8, /*write=*/true);
+  QueueRemove(found);
+  return found;
+}
+
+void Kernel::AttemptSwitch(TcbObj* woken) {
+  const auto& a = b().asw;
+  x(a.entry);
+  T(woken->base);
+  T(current_->base);
+  if (config_.scheduler == SchedulerKind::kLazy) {
+    // No direct-switch trick: waking a higher-priority thread forces a full
+    // scheduler pass at kernel exit.
+    if (woken->prio > current_->prio) {
+      choose_new_ = true;
+    }
+    x(a.lazy_skip);
+    T(woken->base);
+    if (woken->in_run_queue) {
+      x(a.ret);
+      return;
+    }
+    x(a.enqueue);
+    SchedEnqueue(woken);
+    x(a.ret);
+    return;
+  }
+  x(a.higher);
+  if (woken->prio >= current_->prio) {
+    // Benno scheduling: switch directly, do not enqueue (Section 3.1).
+    x(a.direct);
+    sched_action_ = woken;
+    choose_new_ = false;
+    x(a.ret);
+    return;
+  }
+  x(a.enqueue);
+  SchedEnqueue(woken);
+  x(a.ret);
+}
+
+void Kernel::SwitchTo(TcbObj* t) {
+  current_ = t;
+  sched_action_ = nullptr;
+  choose_new_ = false;
+}
+
+void Kernel::ScheduleImpl() {
+  const auto& s = b().sched;
+  x(s.entry);
+  T(current_->base);
+
+  const bool resume_current = sched_action_ == nullptr && !choose_new_;
+  x(s.requeue);
+  if (!resume_current && current_ != idle_ && Runnable(current_) && !current_->in_run_queue) {
+    x(s.requeue_call);
+    SchedEnqueue(current_, /*allow_current=*/true);
+  }
+  x(s.fast);
+  TcbObj* target;
+  if (resume_current) {
+    target = current_;
+  } else if (sched_action_ != nullptr) {
+    target = sched_action_;
+  } else {
+    x(s.choose);
+    target = ChooseThread();
+  }
+  x(s.switch_to);
+  T(target->base, /*write=*/true);
+  if (target != current_ && target != idle_) {
+    T(target->base + 32);  // context restore
+  }
+  SwitchTo(target);
+  x(s.ret);
+}
+
+}  // namespace pmk

@@ -1,0 +1,106 @@
+// Core kernel value types: object kinds, rights, syscall numbers, results.
+
+#ifndef SRC_KERNEL_TYPES_H_
+#define SRC_KERNEL_TYPES_H_
+
+#include <cstdint>
+
+#include "src/hw/cache.h"  // for Addr
+
+namespace pmk {
+
+enum class ObjType : std::uint8_t {
+  kNull,
+  kUntyped,
+  kCNode,
+  kTcb,
+  kEndpoint,
+  kFrame,
+  kPageTable,
+  kPageDir,
+  kAsidPool,
+  kIrqHandler,
+  kReply,
+};
+
+const char* ObjTypeName(ObjType t);
+
+struct CapRights {
+  bool read = true;
+  bool write = true;
+  bool grant = true;
+};
+
+// System calls (IPC primitives) and object invocations (decoded from the
+// message label of a Call on an object capability, as in seL4).
+enum class SysOp : std::uint8_t {
+  kCall,
+  kSend,
+  kRecv,
+  kReplyRecv,
+  kReply,
+  kYield,
+};
+
+enum class InvLabel : std::uint8_t {
+  kNone,
+  kUntypedRetype,     // untyped cap: create objects (Section 3.5)
+  kCNodeDelete,       // cnode cap: delete cap at index (Section 3.3 / 3.6)
+  kCNodeRevoke,       // cnode cap: revoke descendants (Section 3.4)
+  kCNodeMint,         // cnode cap: copy cap with new badge
+  kCNodeCopy,         // cnode cap: plain copy (badge preserved)
+  kCNodeMove,         // cnode cap: move cap between slots
+  kTcbConfigure,
+  kTcbResume,
+  kTcbSuspend,
+  kTcbSetPriority,
+  kFrameMap,
+  kFrameUnmap,
+  kPageTableMap,
+  kIrqSetHandler,
+  kIrqAck,
+};
+
+enum class ThreadState : std::uint8_t {
+  kInactive,
+  kRunning,          // runnable (includes the currently-executing thread)
+  kBlockedOnSend,
+  kBlockedOnRecv,
+  kBlockedOnReply,   // performed a Call, waiting for Reply
+  kRestart,          // aborted/preempted; will re-execute current syscall
+  kIdle,
+};
+
+const char* ThreadStateName(ThreadState s);
+
+// Result of one kernel entry.
+enum class KernelExit : std::uint8_t {
+  kDone,       // operation completed (possibly with an error reported to user)
+  kPreempted,  // operation hit a preemption point with an interrupt pending
+};
+
+// Error codes reported to user threads.
+enum class KError : std::uint8_t {
+  kOk,
+  kInvalidCap,
+  kInvalidArg,
+  kNotEnoughMemory,
+  kRevokeFirst,
+  kAborted,     // IPC aborted by endpoint deletion / badge revocation
+  kDeleted,
+};
+
+const char* KErrorName(KError e);
+
+// Result of an internal (possibly preemptible) kernel operation.
+enum class OpStatus : std::uint8_t {
+  kDone,
+  kPreempted,
+  kError,
+};
+
+inline constexpr std::uint64_t kBadgeNone = 0;
+
+}  // namespace pmk
+
+#endif  // SRC_KERNEL_TYPES_H_

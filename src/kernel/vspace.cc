@@ -1,0 +1,395 @@
+// Address-space management (Section 3.6): the original ASID-table design
+// (Figure 4) with lazy deletion, and the shadow-page-table design (Figure 5)
+// with eager back-pointers and preemptible address-space deletion.
+
+#include <cassert>
+
+#include "src/kernel/kernel.h"
+
+namespace pmk {
+
+// ---------- ASID variant ----------
+
+bool Kernel::AsidAlloc(PageDirObj* pd) {
+  const auto& a = b().asid_alloc;
+  x(a.entry);
+  T(image_->SymAddr(image_->syms.asid_root));
+  AsidPoolObj* pool = objs_.Get<AsidPoolObj>(asid_pool_);
+  if (pool == nullptr) {
+    // Scan finds nothing without a pool; walk the loop once for the check.
+    x(a.loop);
+    x(a.chk);
+    x(a.fail);
+    return false;
+  }
+  std::uint32_t found = 0;
+  for (std::uint32_t i = 1; i < AsidPoolObj::kEntries; ++i) {
+    x(a.loop);
+    T(pool->EntryAddr(i));
+    if (pool->pd[i] == 0) {
+      found = i;
+      break;
+    }
+  }
+  x(a.chk);
+  if (found == 0) {
+    x(a.fail);
+    return false;
+  }
+  x(a.found);
+  T(pool->EntryAddr(found), /*write=*/true);
+  T(pd->base, /*write=*/true);
+  pool->pd[found] = pd->base;
+  pd->asid = found;
+  return true;
+}
+
+OpStatus Kernel::AsidPoolDelete(AsidPoolObj* pool) {
+  const auto& a = b().pool_del;
+  x(a.entry);
+  T(pool->base);
+  // Deleting a pool visits all 1024 entries, cleaning up every address space
+  // registered in it — inherently hard to preempt (the paper's motivation
+  // for abandoning ASIDs).
+  for (std::uint32_t i = 0; i < AsidPoolObj::kEntries; ++i) {
+    x(a.loop);
+    T(pool->EntryAddr(i));
+    if (pool->pd[i] != 0) {
+      PageDirObj* pd = objs_.Get<PageDirObj>(pool->pd[i]);
+      if (pd != nullptr) {
+        T(pd->base, /*write=*/true);
+        pd->asid = 0;
+      }
+      pool->pd[i] = 0;
+    }
+  }
+  if (asid_pool_ == pool->base) {
+    asid_pool_ = 0;
+  }
+  x(a.ret);
+  return OpStatus::kDone;
+}
+
+// ---------- Deletion ----------
+
+OpStatus Kernel::PdDelete(PageDirObj* pd) {
+  if (config_.vspace == VSpaceKind::kAsid) {
+    // Lazy deletion (Figure 4): drop the ASID table entry and flush the TLB.
+    // Frame caps keep stale — harmless — references (checked on use).
+    const auto& a = b().pdda;
+    x(a.entry);
+    T(pd->base, /*write=*/true);
+    AsidPoolObj* pool = objs_.Get<AsidPoolObj>(asid_pool_);
+    if (pool != nullptr && pd->asid != 0) {
+      T(pool->EntryAddr(pd->asid), /*write=*/true);
+      pool->pd[pd->asid] = 0;
+    }
+    pd->asid = 0;
+    x(a.ret);
+    return OpStatus::kDone;
+  }
+
+  // Shadow variant: eagerly clear every mapping so no back-pointer dangles,
+  // preempting after each entry; resume from the lowest mapped index.
+  const auto& d = b().pdds;
+  x(d.entry);
+  T(pd->base);
+  const std::uint32_t start = pd->mapped_count != 0 ? pd->lowest_mapped : PageDirObj::kUserEntries;
+  exec_.SetReg(6, PageDirObj::kUserEntries - start);
+  for (std::uint32_t i = start; true; ++i) {
+    x(d.head);
+    if (i >= PageDirObj::kUserEntries || pd->mapped_count == 0) {
+      break;
+    }
+    x(d.read);
+    T(pd->PdeAddr(i));
+    T(pd->ShadowAddr(i));
+    if (pd->pde[i] != 0) {
+      x(d.is_sec);
+      if (pd->is_section[i]) {
+        x(d.sec);
+        T(pd->PdeAddr(i), /*write=*/true);
+        CapSlot* fslot = pd->shadow[i];
+        if (fslot != nullptr) {
+          T(fslot->addr, /*write=*/true);
+          FrameObj* frame = objs_.Get<FrameObj>(fslot->cap.obj);
+          if (frame != nullptr) {
+            frame->mapped = false;
+            frame->mapped_pd = 0;
+          }
+        }
+        pd->pde[i] = 0;
+        pd->is_section[i] = false;
+        pd->shadow[i] = nullptr;
+        pd->mapped_count--;
+      } else {
+        x(d.pt);
+        PageTableObj* pt = objs_.Get<PageTableObj>(pd->pde[i]);
+        const OpStatus st = pt != nullptr ? PtDelete(pt) : OpStatus::kDone;
+        x(d.ptchk);
+        if (st == OpStatus::kPreempted) {
+          x(d.preempted);
+          return OpStatus::kPreempted;
+        }
+      }
+    }
+    x(d.next);
+    T(pd->base, /*write=*/true);
+    pd->lowest_mapped = i + 1;
+    if (config_.preemptible_deletion) {
+      x(d.preempt);
+      if (PreemptPending()) {
+        x(d.preempted);
+        return OpStatus::kPreempted;
+      }
+    }
+  }
+  x(d.done);
+  T(pd->base, /*write=*/true);
+  pd->lowest_mapped = PageDirObj::kUserEntries;
+  x(d.ret);
+  return OpStatus::kDone;
+}
+
+OpStatus Kernel::PtDelete(PageTableObj* pt) {
+  assert(config_.vspace == VSpaceKind::kShadow);
+  const auto& t = b().ptdel;
+  x(t.entry);
+  T(pt->base);
+  const std::uint32_t start = pt->mapped_count != 0 ? pt->lowest_mapped : PageTableObj::kEntries;
+  exec_.SetReg(5, PageTableObj::kEntries - start);
+  for (std::uint32_t i = start; true; ++i) {
+    x(t.head);
+    if (i >= PageTableObj::kEntries || pt->mapped_count == 0) {
+      break;
+    }
+    x(t.unmap);
+    T(pt->PteAddr(i), /*write=*/true);
+    T(pt->ShadowAddr(i), /*write=*/true);
+    if (pt->pte[i] != 0) {
+      CapSlot* fslot = pt->shadow[i];
+      if (fslot != nullptr) {
+        // Eager back-pointer update: purge the frame cap's mapping info so
+        // no dangling reference survives (Figure 5).
+        T(fslot->addr, /*write=*/true);
+        FrameObj* frame = objs_.Get<FrameObj>(fslot->cap.obj);
+        if (frame != nullptr) {
+          frame->mapped = false;
+          frame->mapped_pd = 0;
+        }
+      }
+      pt->pte[i] = 0;
+      pt->shadow[i] = nullptr;
+      pt->mapped_count--;
+    }
+    pt->lowest_mapped = i + 1;
+    if (config_.preemptible_deletion) {
+      x(t.preempt);
+      if (PreemptPending()) {
+        x(t.preempted);
+        return OpStatus::kPreempted;
+      }
+    }
+  }
+  x(t.done);
+  T(pt->base, /*write=*/true);
+  pt->lowest_mapped = PageTableObj::kEntries;
+  if (pt->mapped_in_pd) {
+    PageDirObj* pd = objs_.Get<PageDirObj>(pt->parent_pd);
+    if (pd != nullptr) {
+      T(pd->PdeAddr(pt->pd_index), /*write=*/true);
+      pd->pde[pt->pd_index] = 0;
+      pd->shadow[pt->pd_index] = nullptr;
+      pd->mapped_count--;
+    }
+    pt->mapped_in_pd = false;
+  }
+  x(t.ret);
+  return OpStatus::kDone;
+}
+
+// ---------- Map / unmap ----------
+
+OpStatus Kernel::FrameMap(CapSlot* frame_slot, const SyscallArgs& args) {
+  const auto& m = b().fmap;
+  const bool asid_mode = config_.vspace == VSpaceKind::kAsid;
+  x(m.entry);
+  T(frame_slot->addr);
+  FrameObj* frame = objs_.Get<FrameObj>(frame_slot->cap.obj);
+  PageDirObj* pd = objs_.Get<PageDirObj>(args.arg0);
+  const Addr vaddr = args.arg1;
+  const std::uint32_t pd_index = static_cast<std::uint32_t>(vaddr >> 20);
+
+  bool valid = frame != nullptr && pd != nullptr && !frame->mapped &&
+               pd_index < PageDirObj::kUserEntries;
+  PageTableObj* pt = nullptr;
+  bool section = false;
+  if (valid) {
+    T(pd->base);
+    if (asid_mode) {
+      // Walk the two-level ASID structure to validate the address space.
+      AsidPoolObj* pool = objs_.Get<AsidPoolObj>(asid_pool_);
+      valid = pool != nullptr && pd->asid != 0 && pool->pd[pd->asid] == pd->base;
+      if (valid) {
+        T(pool->EntryAddr(pd->asid));
+      }
+    }
+  }
+  if (valid) {
+    section = frame->size_bits >= 20;
+    if (section) {
+      valid = pd->pde[pd_index] == 0;
+      T(pd->PdeAddr(pd_index));
+    } else {
+      pt = pd->is_section[pd_index] ? nullptr : objs_.Get<PageTableObj>(pd->pde[pd_index]);
+      const std::uint32_t pt_index = static_cast<std::uint32_t>((vaddr >> 12) & 0xFF);
+      valid = pt != nullptr && pt->pte[pt_index] == 0;
+    }
+  }
+  if (!valid) {
+    x(m.bad);
+    current_->last_error = KError::kInvalidArg;
+    return OpStatus::kDone;
+  }
+
+  x(m.set);
+  if (section) {
+    T(pd->PdeAddr(pd_index), /*write=*/true);
+    pd->pde[pd_index] = frame->base;
+    pd->is_section[pd_index] = true;
+    pd->mapped_count++;
+    pd->lowest_mapped = std::min(pd->lowest_mapped, pd_index);
+    if (!asid_mode) {
+      T(pd->ShadowAddr(pd_index), /*write=*/true);
+      pd->shadow[pd_index] = frame_slot;
+    }
+  } else {
+    const std::uint32_t pt_index = static_cast<std::uint32_t>((vaddr >> 12) & 0xFF);
+    T(pt->PteAddr(pt_index), /*write=*/true);
+    pt->pte[pt_index] = frame->base;
+    pt->mapped_count++;
+    pt->lowest_mapped = std::min(pt->lowest_mapped, pt_index);
+    if (!asid_mode) {
+      T(pt->ShadowAddr(pt_index), /*write=*/true);
+      pt->shadow[pt_index] = frame_slot;
+    }
+  }
+  T(frame_slot->addr, /*write=*/true);
+  frame->mapped = true;
+  frame->vaddr = vaddr;
+  if (asid_mode) {
+    frame->asid = pd->asid;  // small enough to fit in the cap (Section 3.6)
+  } else {
+    frame->mapped_pd = pd->base;
+  }
+  x(m.ret);
+  return OpStatus::kDone;
+}
+
+OpStatus Kernel::FrameUnmap(CapSlot* frame_slot) {
+  const auto& m = b().funmap;
+  const bool asid_mode = config_.vspace == VSpaceKind::kAsid;
+  x(m.entry);
+  T(frame_slot->addr);
+  FrameObj* frame = objs_.Get<FrameObj>(frame_slot->cap.obj);
+
+  PageDirObj* pd = nullptr;
+  bool live = frame != nullptr && frame->mapped;
+  if (live) {
+    T(frame->base);
+    if (asid_mode) {
+      // The ASID in the cap may be stale: the address space could have been
+      // deleted (lazily) or the ASID reused. Check that the mapping agrees.
+      AsidPoolObj* pool = objs_.Get<AsidPoolObj>(asid_pool_);
+      live = pool != nullptr && frame->asid != 0 && pool->pd[frame->asid] != 0;
+      if (live) {
+        T(pool->EntryAddr(frame->asid));
+        pd = objs_.Get<PageDirObj>(pool->pd[frame->asid]);
+        live = pd != nullptr;
+      }
+    } else {
+      pd = objs_.Get<PageDirObj>(frame->mapped_pd);
+      live = pd != nullptr;
+    }
+  }
+  const std::uint32_t pd_index = live ? static_cast<std::uint32_t>(frame->vaddr >> 20) : 0;
+  PageTableObj* pt = nullptr;
+  std::uint32_t pt_index = 0;
+  if (live) {
+    if (pd->is_section[pd_index]) {
+      live = pd->pde[pd_index] == frame->base;
+    } else {
+      pt = objs_.Get<PageTableObj>(pd->pde[pd_index]);
+      pt_index = static_cast<std::uint32_t>((frame->vaddr >> 12) & 0xFF);
+      live = pt != nullptr && pt->pte[pt_index] == frame->base;
+    }
+  }
+  if (!live) {
+    // Stale or absent mapping: dangling references are harmless by design.
+    x(m.stale);
+    if (frame != nullptr) {
+      frame->mapped = false;
+    }
+    return OpStatus::kDone;
+  }
+
+  x(m.clear);
+  if (pd->is_section[pd_index]) {
+    T(pd->PdeAddr(pd_index), /*write=*/true);
+    pd->pde[pd_index] = 0;
+    pd->is_section[pd_index] = false;
+    pd->shadow[pd_index] = nullptr;
+    pd->mapped_count--;
+  } else {
+    T(pt->PteAddr(pt_index), /*write=*/true);
+    pt->pte[pt_index] = 0;
+    if (!asid_mode) {
+      T(pt->ShadowAddr(pt_index), /*write=*/true);
+      pt->shadow[pt_index] = nullptr;
+    }
+    pt->mapped_count--;
+  }
+  frame->mapped = false;
+  frame->mapped_pd = 0;
+  frame->asid = 0;
+  x(m.ret);
+  return OpStatus::kDone;
+}
+
+OpStatus Kernel::PtMap(CapSlot* pt_slot, const SyscallArgs& args) {
+  const auto& m = b().ptmap;
+  x(m.entry);
+  T(pt_slot->addr);
+  PageTableObj* pt = objs_.Get<PageTableObj>(pt_slot->cap.obj);
+  PageDirObj* pd = objs_.Get<PageDirObj>(args.arg0);
+  const std::uint32_t pd_index = static_cast<std::uint32_t>(args.arg1 >> 20);
+  bool valid = pt != nullptr && pd != nullptr && !pt->mapped_in_pd &&
+               pd_index < PageDirObj::kUserEntries && pd->pde[pd_index] == 0;
+  if (valid) {
+    T(pd->PdeAddr(pd_index));
+    T(pt->base);
+  }
+  if (!valid) {
+    x(m.bad);
+    current_->last_error = KError::kInvalidArg;
+    return OpStatus::kDone;
+  }
+  x(m.set);
+  T(pd->PdeAddr(pd_index), /*write=*/true);
+  pd->pde[pd_index] = pt->base;
+  pd->is_section[pd_index] = false;
+  pd->mapped_count++;
+  pd->lowest_mapped = std::min(pd->lowest_mapped, pd_index);
+  if (config_.vspace == VSpaceKind::kShadow) {
+    T(pd->ShadowAddr(pd_index), /*write=*/true);
+    pd->shadow[pd_index] = pt_slot;
+  }
+  pt->mapped_in_pd = true;
+  pt->parent_pd = pd->base;
+  pt->pd_index = pd_index;
+  T(pt->base, /*write=*/true);
+  x(m.ret);
+  return OpStatus::kDone;
+}
+
+}  // namespace pmk

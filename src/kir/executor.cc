@@ -1,0 +1,251 @@
+#include "src/kir/executor.h"
+
+#include <cassert>
+
+namespace pmk {
+
+namespace {
+
+std::int64_t EvalCmpSide(const std::array<std::int64_t, Executor::kNumRegs>& regs,
+                         const BranchCond& c) {
+  return c.rhs_is_imm ? c.rhs_imm : regs[c.rhs_reg];
+}
+
+bool EvalCond(const std::array<std::int64_t, Executor::kNumRegs>& regs, const BranchCond& c) {
+  const std::int64_t lhs = regs[c.lhs];
+  const std::int64_t rhs = EvalCmpSide(regs, c);
+  switch (c.cmp) {
+    case BranchCond::Cmp::kLt:
+      return lhs < rhs;
+    case BranchCond::Cmp::kGe:
+      return lhs >= rhs;
+    case BranchCond::Cmp::kEq:
+      return lhs == rhs;
+    case BranchCond::Cmp::kNe:
+      return lhs != rhs;
+    case BranchCond::Cmp::kNone:
+      break;
+  }
+  return false;
+}
+
+std::uint16_t CondRegMask(const BranchCond& c) {
+  std::uint16_t m = static_cast<std::uint16_t>(1u << c.lhs);
+  if (!c.rhs_is_imm) {
+    m |= static_cast<std::uint16_t>(1u << c.rhs_reg);
+  }
+  return m;
+}
+
+}  // namespace
+
+Executor::Executor(const Program* program, Machine* machine)
+    : program_(program), machine_(machine) {
+  assert(program_->laid_out());
+}
+
+void Executor::Fail(const std::string& msg) const {
+  std::string ctx = msg;
+  if (cur_ != kNoBlock) {
+    ctx += " (current block: " + program_->block(cur_).name + ")";
+  }
+  throw ExecError(ctx);
+}
+
+void Executor::Begin(FuncId entry_func) {
+  if (in_path_) {
+    Fail("Begin() while already in a kernel path");
+  }
+  in_path_ = true;
+  entry_func_ = entry_func;
+  cur_ = kNoBlock;
+  dyn_count_ = 0;
+  call_stack_.clear();
+  regs_.fill(0);
+  written_ = 0;
+  if (recording_) {
+    trace_.Clear();
+    trace_.start_cycle = machine_->Now();
+  }
+}
+
+void Executor::LeaveCurrent() {
+  if (cur_ == kNoBlock) {
+    return;
+  }
+  const Block& p = program_->block(cur_);
+  if (dyn_count_ > p.max_dynamic_accesses) {
+    Fail("block " + p.name + " exceeded its dynamic-access budget: " +
+         std::to_string(dyn_count_) + " > " + std::to_string(p.max_dynamic_accesses));
+  }
+  dyn_count_ = 0;
+}
+
+void Executor::ChargeBlock(const Block& b) {
+  machine_->InstrFetch(b.address, b.instr_count);
+  for (const StaticAccess& a : b.static_accesses) {
+    machine_->DataAccess(program_->ResolveStatic(b, a), a.write);
+  }
+  if (b.raw_cycles != 0) {
+    machine_->RawCycles(b.raw_cycles);
+  }
+  // Interpret the register ops attached to this block.
+  for (const RegOp& op : b.reg_ops) {
+    switch (op.kind) {
+      case RegOp::Kind::kConst:
+        regs_[op.dst] = op.imm;
+        break;
+      case RegOp::Kind::kAdd:
+        regs_[op.dst] += op.imm;
+        break;
+      case RegOp::Kind::kMovReg:
+        regs_[op.dst] = regs_[op.src];
+        break;
+    }
+    written_ |= static_cast<std::uint16_t>(1u << op.dst);
+  }
+}
+
+void Executor::At(BlockId bid) {
+  if (!in_path_) {
+    Fail("At() outside a kernel path");
+  }
+  const Block& b = program_->block(bid);
+
+  if (cur_ == kNoBlock) {
+    const BlockId expect = program_->function(entry_func_).entry;
+    if (bid != expect) {
+      Fail("path must start at entry block " + program_->block(expect).name + ", got " + b.name);
+    }
+  } else {
+    const Block& p = program_->block(cur_);
+    LeaveCurrent();
+    if (p.callee != kNoFunc && bid != program_->function(p.callee).entry) {
+      Fail("call block " + p.name + " must enter " +
+           program_->function(p.callee).name + ", got " + b.name);
+    }
+    if (p.callee != kNoFunc) {
+      // Call edge.
+      const Addr branch_pc = p.address + (static_cast<Addr>(p.instr_count) - 1) * 4;
+      machine_->Branch(branch_pc, BranchKind::kDirect, true);
+      Frame f;
+      f.resume = p.succs[0];
+      f.regs = regs_;
+      f.written = written_;
+      call_stack_.push_back(f);
+      written_ = 0;  // callee starts with no semantically-known registers
+    } else if (p.is_return) {
+      // Return edge.
+      if (call_stack_.empty()) {
+        Fail("return from " + p.name + " with empty call stack; expected End()");
+      }
+      const Frame f = call_stack_.back();
+      call_stack_.pop_back();
+      if (bid != f.resume) {
+        Fail("return to " + b.name + " but resume block is " + program_->block(f.resume).name);
+      }
+      const Addr branch_pc = p.address + (static_cast<Addr>(p.instr_count) - 1) * 4;
+      machine_->Branch(branch_pc, BranchKind::kReturn, true);
+      regs_ = f.regs;
+      written_ = f.written;
+    } else {
+      // Intra-function edge.
+      bool found = false;
+      for (BlockId s : p.succs) {
+        if (s == bid) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        Fail("edge " + p.name + " -> " + b.name + " not in CFG");
+      }
+      const Addr branch_pc = p.address + (static_cast<Addr>(p.instr_count) - 1) * 4;
+      if (p.succs.size() == 2) {
+        const bool taken = (bid == p.succs[1]);
+        // Cross-check semantic conditions where declared and where all
+        // involved registers hold known values.
+        if (p.cond.HasSemantics() && (written_ & CondRegMask(p.cond)) == CondRegMask(p.cond)) {
+          const bool predicted = EvalCond(regs_, p.cond);
+          if (p.cond.one_sided) {
+            // Guard semantics: the condition must hold whenever the taken
+            // edge is followed; early exit on the not-taken edge is allowed.
+            if (taken && !predicted) {
+              Fail("guard condition of " + p.name + " violated on taken edge");
+            }
+          } else if (predicted != taken) {
+            Fail("semantic branch condition of " + p.name + " disagrees with executed direction");
+          }
+        }
+        machine_->Branch(branch_pc, BranchKind::kConditional, taken);
+      } else if (p.branch == BranchKind::kDirect) {
+        machine_->Branch(branch_pc, BranchKind::kDirect, true);
+      }
+      // Single-successor fall-through: no branch cost.
+    }
+  }
+
+  cur_ = bid;
+  if (recording_) {
+    trace_.blocks.push_back(bid);
+  }
+  ChargeBlock(b);
+}
+
+void Executor::Touch(Addr addr, bool write) {
+  if (!in_path_ || cur_ == kNoBlock) {
+    Fail("Touch() outside a block");
+  }
+  dyn_count_++;
+  machine_->DataAccess(addr, write);
+}
+
+void Executor::SetReg(std::uint8_t reg, std::int64_t value) {
+  if (!in_path_ || cur_ == kNoBlock) {
+    Fail("SetReg() outside a block");
+  }
+  // Validate against any loop-input declaration in the current function.
+  const Function& f = program_->function(program_->block(cur_).func);
+  for (BlockId bid : f.blocks) {
+    for (const LoopInput& in : program_->block(bid).loop_inputs) {
+      if (in.reg == reg && (value < in.min || value > in.max)) {
+        Fail("SetReg r" + std::to_string(reg) + "=" + std::to_string(value) +
+             " outside declared loop-input range [" + std::to_string(in.min) + "," +
+             std::to_string(in.max) + "] of " + program_->block(bid).name);
+      }
+    }
+  }
+  regs_[reg] = value;
+  written_ |= static_cast<std::uint16_t>(1u << reg);
+}
+
+void Executor::End() {
+  if (!in_path_) {
+    Fail("End() outside a kernel path");
+  }
+  if (cur_ == kNoBlock) {
+    Fail("End() before any block executed");
+  }
+  const Block& p = program_->block(cur_);
+  if (!p.is_return) {
+    Fail("End() in non-return block " + p.name);
+  }
+  if (!call_stack_.empty()) {
+    Fail("End() with non-empty call stack");
+  }
+  LeaveCurrent();
+  in_path_ = false;
+  cur_ = kNoBlock;
+  if (recording_) {
+    trace_.end_cycle = machine_->Now();
+  }
+}
+
+Trace Executor::StopRecording() {
+  recording_ = false;
+  Trace t = trace_;
+  trace_.Clear();
+  return t;
+}
+
+}  // namespace pmk

@@ -1,0 +1,95 @@
+// Kernel IR executor: runs declared blocks against the machine model.
+//
+// The kernel's C++ code drives the executor: it announces each basic block it
+// passes through (Executor::At) and each dynamically-addressed memory access
+// it performs (Executor::Touch). The executor charges all costs to the
+// hw::Machine, enforces that the dynamic path is a path of the declared CFG
+// (calls, returns and successor edges), enforces per-block dynamic-access
+// budgets, interprets the register-machine ops attached to loop blocks and
+// cross-checks semantic branch conditions against the direction the C++ code
+// actually took. Any divergence throws ExecError — in the paper's terms, the
+// "binary" being analyzed would not match the kernel being run.
+
+#ifndef SRC_KIR_EXECUTOR_H_
+#define SRC_KIR_EXECUTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/kir/program.h"
+#include "src/kir/trace.h"
+
+namespace pmk {
+
+class ExecError : public std::logic_error {
+ public:
+  explicit ExecError(const std::string& what) : std::logic_error(what) {}
+};
+
+class Executor {
+ public:
+  static constexpr std::size_t kNumRegs = 16;
+
+  Executor(const Program* program, Machine* machine);
+
+  // Starts a kernel path at |entry_func|'s entry block.
+  void Begin(FuncId entry_func);
+
+  // Announces execution of block |b| (charges fetch, static accesses, branch
+  // from the previous block, raw cycles; interprets register ops).
+  void At(BlockId b);
+
+  // One dynamically-addressed data access within the current block.
+  void Touch(Addr addr, bool write = false);
+
+  // Injects a runtime value into register |reg| (a loop input). Validated
+  // against the declared LoopInput range of the current function's loops.
+  void SetReg(std::uint8_t reg, std::int64_t value);
+
+  // Ends the kernel path; the current block must be a return block of the
+  // entry function and the call stack must be empty.
+  void End();
+
+  bool InPath() const { return in_path_; }
+  BlockId CurrentBlock() const { return cur_; }
+
+  // Trace recording (off by default).
+  void StartRecording() { recording_ = true; }
+  Trace StopRecording();
+
+  const Program& program() const { return *program_; }
+  Machine& machine() { return *machine_; }
+
+ private:
+  void LeaveCurrent();
+  void ChargeBlock(const Block& b);
+  [[noreturn]] void Fail(const std::string& msg) const;
+
+  struct Frame {
+    BlockId resume = kNoBlock;
+    std::array<std::int64_t, kNumRegs> regs{};
+    std::uint16_t written = 0;
+  };
+
+  const Program* program_;
+  Machine* machine_;
+
+  bool in_path_ = false;
+  BlockId cur_ = kNoBlock;
+  FuncId entry_func_ = kNoFunc;
+  std::uint32_t dyn_count_ = 0;
+  std::vector<Frame> call_stack_;
+  std::array<std::int64_t, kNumRegs> regs_{};
+  std::uint16_t written_ = 0;
+
+  bool recording_ = false;
+  Trace trace_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_KIR_EXECUTOR_H_

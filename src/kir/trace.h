@@ -1,0 +1,33 @@
+// Execution traces of kernel IR paths.
+//
+// A trace is the dynamic block sequence of one kernel entry (exception vector
+// to kernel exit). Traces are used to (a) validate dynamic execution against
+// the declared CFG, (b) replay paths under the conservative analysis cost
+// model for the computed-vs-observed comparison (paper Sections 5.4, 6.2).
+
+#ifndef SRC_KIR_TRACE_H_
+#define SRC_KIR_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/cycles.h"
+#include "src/kir/block.h"
+
+namespace pmk {
+
+struct Trace {
+  std::vector<BlockId> blocks;
+  Cycles start_cycle = 0;
+  Cycles end_cycle = 0;
+
+  Cycles Duration() const { return end_cycle - start_cycle; }
+  void Clear() {
+    blocks.clear();
+    start_cycle = end_cycle = 0;
+  }
+};
+
+}  // namespace pmk
+
+#endif  // SRC_KIR_TRACE_H_

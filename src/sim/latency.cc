@@ -1,0 +1,72 @@
+#include "src/sim/latency.h"
+
+#include <algorithm>
+
+namespace pmk {
+
+Cycles MeasureEntry(System& sys, const std::function<void()>& enter,
+                    const std::function<void()>& reset, const MeasureOptions& opts) {
+  Cycles worst = 0;
+  for (std::uint32_t r = 0; r < std::max<std::uint32_t>(opts.runs, 1); ++r) {
+    if (opts.pollute_caches) {
+      sys.machine().PolluteCaches();
+    }
+    const Cycles t0 = sys.machine().Now();
+    enter();
+    worst = std::max(worst, sys.machine().Now() - t0);
+    if (reset) {
+      reset();
+    }
+  }
+  return worst;
+}
+
+Cycles MeasureIrqDelivery(System& sys, const MeasureOptions& opts) {
+  Cycles worst = 0;
+  for (std::uint32_t r = 0; r < std::max<std::uint32_t>(opts.runs, 1); ++r) {
+    if (opts.pollute_caches) {
+      sys.machine().PolluteCaches();
+    }
+    sys.machine().irq().Unmask(InterruptController::kTimerLine);
+    sys.machine().irq().Assert(InterruptController::kTimerLine, sys.machine().Now());
+    const Cycles t0 = sys.machine().Now();
+    sys.kernel().HandleIrqEntry();
+    worst = std::max(worst, sys.machine().Now() - t0);
+  }
+  return worst;
+}
+
+LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
+                                const SyscallArgs& args, Cycles timer_period) {
+  LongOpResult res;
+  sys.kernel().ClearIrqLatencies();
+  sys.machine().timer().set_period(timer_period);
+  sys.machine().timer().Restart(sys.machine().Now());
+  const Cycles t0 = sys.machine().Now();
+  for (;;) {
+    const KernelExit e = sys.kernel().Syscall(op, cptr, args);
+    if (e == KernelExit::kPreempted) {
+      res.preemptions++;
+      // The preempted entry already serviced (acked + masked) the interrupt;
+      // model the handler finishing and re-enabling the line.
+      sys.machine().irq().Unmask(InterruptController::kTimerLine);
+      continue;
+    }
+    break;
+  }
+  // An interrupt that arrived during a non-preemptible stretch is still
+  // pending at kernel exit; the user is interrupted immediately, and the
+  // response time includes the whole blackout.
+  if (sys.machine().irq().AnyPending()) {
+    sys.kernel().HandleIrqEntry();
+    sys.machine().irq().Unmask(InterruptController::kTimerLine);
+  }
+  sys.machine().timer().set_period(0);
+  res.total_cycles = sys.machine().Now() - t0;
+  for (Cycles c : sys.kernel().irq_latencies()) {
+    res.max_irq_latency = std::max(res.max_irq_latency, c);
+  }
+  return res;
+}
+
+}  // namespace pmk

@@ -1,0 +1,44 @@
+// Measurement helpers: worst-case-search execution timing (paper Section 5.4)
+// and interrupt-response measurement.
+
+#ifndef SRC_SIM_LATENCY_H_
+#define SRC_SIM_LATENCY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/workload.h"
+
+namespace pmk {
+
+struct MeasureOptions {
+  bool pollute_caches = true;  // dirty caches before each run (Section 5.4)
+  std::uint32_t runs = 1;      // take the max over this many runs
+};
+
+// Times one charged kernel entry under the given options. |enter| performs
+// exactly one kernel entry (e.g. a Syscall call) and is invoked once per run;
+// |reset| (optional) restores the scenario between runs. Returns the maximum
+// observed duration in cycles.
+Cycles MeasureEntry(System& sys, const std::function<void()>& enter,
+                    const std::function<void()>& reset, const MeasureOptions& opts);
+
+// Asserts the timer IRQ and immediately delivers it from userland (the
+// best-case interrupt path); returns the measured response latency.
+Cycles MeasureIrqDelivery(System& sys, const MeasureOptions& opts);
+
+// Runs a (possibly preempted and restarted) long operation to completion:
+// re-issues the syscall while it keeps returning kPreempted, servicing the
+// pending interrupt after each preemption. Returns the number of preemptions
+// and, via |max_latency|, the worst interrupt response observed.
+struct LongOpResult {
+  std::uint32_t preemptions = 0;
+  Cycles max_irq_latency = 0;
+  Cycles total_cycles = 0;
+};
+LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
+                                const SyscallArgs& args, Cycles timer_period);
+
+}  // namespace pmk
+
+#endif  // SRC_SIM_LATENCY_H_

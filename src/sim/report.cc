@@ -1,0 +1,72 @@
+#include "src/sim/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pmk {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::Print() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row, bool left_first) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c == 0 && left_first) {
+        std::printf("%-*s", static_cast<int>(width[c]), row[c].c_str());
+      } else {
+        std::printf("  %*s", static_cast<int>(width[c]), row[c].c_str());
+      }
+    }
+    std::printf("\n");
+  };
+  print_row(headers_, true);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) {
+    print_row(row, true);
+  }
+}
+
+std::string Table::Us(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", micros);
+  return buf;
+}
+
+std::string Table::Cyc(std::uint64_t cycles) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(cycles));
+  return buf;
+}
+
+std::string Table::Ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", r);
+  return buf;
+}
+
+std::string Table::Pct(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", frac * 100.0);
+  return buf;
+}
+
+std::string Bar(double value, double max, int width) {
+  const int n = max > 0 ? static_cast<int>(value / max * width + 0.5) : 0;
+  return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+}
+
+}  // namespace pmk

@@ -1,0 +1,37 @@
+// Table/figure formatting for the benchmark binaries: fixed-width text
+// tables matching the layout of the paper's tables, plus simple ASCII bar
+// charts for the figures.
+
+#ifndef SRC_SIM_REPORT_H_
+#define SRC_SIM_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pmk {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Prints to stdout with a separator under the header.
+  void Print() const;
+
+  static std::string Us(double micros);          // "123.4"
+  static std::string Cyc(std::uint64_t cycles);  // "123456"
+  static std::string Ratio(double r);            // "3.26"
+  static std::string Pct(double frac);           // "46%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Horizontal ASCII bar: value scaled to |width| characters at |max|.
+std::string Bar(double value, double max, int width = 40);
+
+}  // namespace pmk
+
+#endif  // SRC_SIM_REPORT_H_

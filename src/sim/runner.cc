@@ -1,0 +1,107 @@
+#include "src/sim/runner.h"
+
+namespace pmk {
+
+void Runner::SetProgram(TcbObj* t, std::vector<UserStep> program, bool loop) {
+  ThreadProgram p;
+  p.steps = std::move(program);
+  p.loop = loop;
+  programs_[t] = std::move(p);
+}
+
+std::uint64_t Runner::StepsCompleted(const TcbObj* t) const {
+  const auto it = programs_.find(t);
+  return it == programs_.end() ? 0 : it->second.completed;
+}
+
+void Runner::DeliverIrq() {
+  // Interrupts are taken immediately while userland runs.
+  sys_->kernel().HandleIrqEntry();
+  ReenableUnboundLines();
+}
+
+void Runner::ReenableUnboundLines() {
+  // The kernel masks a line when it services it; a bound line is re-enabled
+  // by its handler's IRQAck. For unbound lines the runner plays the driver
+  // and re-enables immediately, so periodic sources keep firing.
+  for (std::uint32_t line = 0; line < InterruptController::kNumLines; ++line) {
+    if (sys_->kernel().irq_binding(line) == nullptr) {
+      sys_->machine().irq().Unmask(line);
+    }
+  }
+}
+
+std::uint64_t Runner::Run(Cycles duration) {
+  Machine& m = sys_->machine();
+  Kernel& k = sys_->kernel();
+  const Cycles end = m.Now() + duration;
+  std::uint64_t total_steps = 0;
+
+  while (m.Now() < end) {
+    if (m.irq().AnyPending() && k.current() != k.idle()) {
+      DeliverIrq();
+      continue;
+    }
+    TcbObj* cur = k.current();
+    if (cur == k.idle()) {
+      // Fast-forward: nothing to run until the next timer firing (if any).
+      if (m.timer().period() == 0) {
+        break;  // nothing will ever wake the system
+      }
+      m.RawCycles(m.timer().period() / 4 + 1);
+      if (m.irq().AnyPending()) {
+        DeliverIrq();
+      }
+      continue;
+    }
+    const auto it = programs_.find(cur);
+    if (it == programs_.end()) {
+      // No program: the thread just burns cycles (best-effort background).
+      m.RawCycles(500);
+      continue;
+    }
+    ThreadProgram& p = it->second;
+    if (p.pc >= p.steps.size()) {
+      if (!p.loop) {
+        // Program finished: the thread yields forever.
+        k.Syscall(SysOp::kYield, 0, SyscallArgs{});
+        if (k.current() == cur) {
+          m.RawCycles(200);  // nothing else runnable; idle-spin
+        }
+        continue;
+      }
+      p.pc = 0;
+    }
+    const UserStep& step = p.steps[p.pc];
+    switch (step.kind) {
+      case UserStep::Kind::kCompute:
+        m.RawCycles(step.compute);
+        p.pc++;
+        p.completed++;
+        total_steps++;
+        break;
+      case UserStep::Kind::kSyscall: {
+        const KernelExit e = k.Syscall(step.op, step.cptr, step.args);
+        if (e == KernelExit::kPreempted) {
+          // Restartable system call: keep the program counter in place; the
+          // thread re-issues the same syscall when it next runs. The
+          // interrupt was serviced (and its line masked) inside the entry.
+          ReenableUnboundLines();
+          p.retry = true;
+          break;
+        }
+        p.retry = false;
+        p.pc++;
+        p.completed++;
+        total_steps++;
+        break;
+      }
+    }
+    if (hook_ && !p.retry) {
+      hook_(cur, p.pc == 0 ? p.steps.size() - 1 : p.pc - 1);
+    }
+  }
+  return total_steps;
+}
+
+}  // namespace pmk

@@ -1,0 +1,89 @@
+// User-program runner: scripted userland on top of the kernel.
+//
+// Each thread gets a program — a sequence of compute bursts and system calls
+// — and the runner drives the whole system the way hardware would: the
+// current thread executes its next step, pending interrupts preempt userland
+// immediately, preempted (restartable) system calls are re-issued when the
+// thread runs again, and idle time fast-forwards to the next timer firing.
+// This is the substrate for the mixed-criticality example and for
+// integration tests that need realistic multi-threaded schedules.
+
+#ifndef SRC_SIM_RUNNER_H_
+#define SRC_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/sim/workload.h"
+
+namespace pmk {
+
+struct UserStep {
+  enum class Kind : std::uint8_t { kCompute, kSyscall };
+  Kind kind = Kind::kCompute;
+  Cycles compute = 0;  // kCompute: cycles of user-mode work
+
+  // kSyscall:
+  SysOp op = SysOp::kYield;
+  std::uint32_t cptr = 0;
+  SyscallArgs args;
+
+  static UserStep Compute(Cycles c) {
+    UserStep s;
+    s.kind = Kind::kCompute;
+    s.compute = c;
+    return s;
+  }
+  static UserStep Syscall(SysOp op, std::uint32_t cptr, SyscallArgs args = {}) {
+    UserStep s;
+    s.kind = Kind::kSyscall;
+    s.op = op;
+    s.cptr = cptr;
+    s.args = args;
+    return s;
+  }
+};
+
+class Runner {
+ public:
+  explicit Runner(System* sys) : sys_(sys) {}
+
+  // Installs |program| for |t|. When |loop| is set the program restarts from
+  // the beginning after its last step.
+  void SetProgram(TcbObj* t, std::vector<UserStep> program, bool loop = true);
+
+  // Optional per-step hook, called after each completed step with the thread
+  // and its step index (before advancing).
+  void SetStepHook(std::function<void(TcbObj*, std::size_t)> hook) { hook_ = std::move(hook); }
+
+  // Runs the system for |duration| modelled cycles (approximately: the last
+  // step may overshoot). Returns the number of steps completed.
+  std::uint64_t Run(Cycles duration);
+
+  // Steps completed by |t| so far.
+  std::uint64_t StepsCompleted(const TcbObj* t) const;
+
+ private:
+  struct ThreadProgram {
+    std::vector<UserStep> steps;
+    bool loop = true;
+    std::size_t pc = 0;           // next step
+    bool retry = false;           // re-issue the current syscall (restart)
+    std::uint64_t completed = 0;
+  };
+
+  // Delivers a pending interrupt from userland.
+  void DeliverIrq();
+  // Re-enables serviced lines that have no handler endpoint bound.
+  void ReenableUnboundLines();
+
+  System* sys_;
+  std::map<const TcbObj*, ThreadProgram> programs_;
+  std::function<void(TcbObj*, std::size_t)> hook_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_SIM_RUNNER_H_

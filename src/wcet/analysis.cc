@@ -1,0 +1,99 @@
+#include "src/wcet/analysis.h"
+
+namespace pmk {
+
+const char* EntryPointName(EntryPoint e) {
+  switch (e) {
+    case EntryPoint::kSyscall:
+      return "System call";
+    case EntryPoint::kUndefined:
+      return "Undefined instruction";
+    case EntryPoint::kPageFault:
+      return "Page fault";
+    case EntryPoint::kInterrupt:
+      return "Interrupt";
+  }
+  return "?";
+}
+
+WcetAnalyzer::WcetAnalyzer(const KernelImage& image, const AnalysisOptions& options)
+    : image_(&image), opts_(options) {
+  cost_opts_.l2_enabled = options.l2_enabled;
+  if (options.l2_kernel_pinning) {
+    // The whole kernel (text, data, stack) is way-locked into the L2: any
+    // statically-addressed kernel access misses no further than the L2.
+    cost_opts_.l2_kernel_pinned = true;
+    cost_opts_.l2_pinned_lo = Program::kTextBase;
+    cost_opts_.l2_pinned_hi = Program::kStackTop;
+  }
+  if (options.cache_pinning) {
+    const std::size_t capacity = (4096 / cost_opts_.line_bytes) * options.pin_ways;
+    const PinnedLines pins = SelectPinnedLines(image, cost_opts_.line_bytes, capacity);
+    cost_opts_.pinned_ilines.insert(pins.ilines.begin(), pins.ilines.end());
+    cost_opts_.pinned_dlines.insert(pins.dlines.begin(), pins.dlines.end());
+    // The locked region shrinks the cache available to everything else: the
+    // direct-mapped approximation loses the locked ways.
+    cost_opts_.way_bytes = 4096;  // unchanged: one way is already the model
+  }
+}
+
+FuncId WcetAnalyzer::EntryFunc(EntryPoint e) const {
+  switch (e) {
+    case EntryPoint::kSyscall:
+      return image_->b.sys.fn;
+    case EntryPoint::kUndefined:
+      return image_->b.undef.fn;
+    case EntryPoint::kPageFault:
+      return image_->b.fault.fn;
+    case EntryPoint::kInterrupt:
+      return image_->b.irq.fn;
+  }
+  return kNoFunc;
+}
+
+EntryResult WcetAnalyzer::Analyze(EntryPoint entry) const {
+  EntryResult res;
+  res.entry = entry;
+
+  InlinedGraph graph(image_->prog, EntryFunc(entry));
+  res.nodes = graph.nodes().size();
+  res.edges = graph.edges().size();
+
+  const std::vector<LoopBoundResult> bounds = ComputeLoopBounds(graph);
+  for (const LoopBoundResult& b : bounds) {
+    if (b.source == LoopBoundResult::Source::kComputed) {
+      res.loops_bounded_auto++;
+    } else if (b.source != LoopBoundResult::Source::kUnknown) {
+      res.loops_bounded_annot++;
+    }
+  }
+
+  const CostResult costs = ComputeNodeCosts(graph, cost_opts_);
+
+  IpetOptions iopts;
+  iopts.irq_pending = opts_.irq_pending;
+  const IpetResult ipet = RunIpet(graph, costs, iopts, opts_.constraints);
+  res.status = ipet.status;
+  if (ipet.status == SolveStatus::kOptimal) {
+    res.wcet = ipet.wcet;
+    res.micros = ClockSpec{}.ToMicros(ipet.wcet);
+    res.worst_trace = ExtractWorstTrace(graph, ipet);
+  }
+  return res;
+}
+
+Cycles WcetAnalyzer::EvaluateTrace(const Trace& trace) const {
+  return EvaluateTraceCost(image_->prog, trace, cost_opts_);
+}
+
+Cycles WcetAnalyzer::InterruptResponseBound() const {
+  Cycles longest = 0;
+  for (EntryPoint e : {EntryPoint::kSyscall, EntryPoint::kUndefined, EntryPoint::kPageFault}) {
+    const EntryResult r = Analyze(e);
+    longest = std::max(longest, r.wcet);
+  }
+  const EntryResult irq = Analyze(EntryPoint::kInterrupt);
+  return longest + irq.wcet;
+}
+
+}  // namespace pmk

@@ -1,0 +1,73 @@
+// End-to-end WCET analysis driver (paper Section 5).
+//
+// Ties the pipeline together: virtual inlining, automatic loop bounds,
+// conservative cache/pipeline cost model, IPET/ILP — and produces per-entry
+// WCET bounds, concrete worst-case traces, and forced-path evaluations for
+// the computed-vs-observed comparison.
+
+#ifndef SRC_WCET_ANALYSIS_H_
+#define SRC_WCET_ANALYSIS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/image.h"
+#include "src/wcet/cost.h"
+#include "src/wcet/ipet.h"
+#include "src/wcet/loopbound.h"
+
+namespace pmk {
+
+struct AnalysisOptions {
+  bool l2_enabled = false;
+  bool irq_pending = true;         // interrupt-latency mode
+  bool cache_pinning = false;      // Section 4: L1 way-locking
+  bool l2_kernel_pinning = false;  // Sections 6.4/8: whole kernel in the L2
+  std::uint32_t pin_ways = 1;      // 1/4 of each 4-way L1
+  std::vector<ManualConstraint> constraints;
+};
+
+// The four analyzed kernel entry points.
+enum class EntryPoint : std::uint8_t { kSyscall, kUndefined, kPageFault, kInterrupt };
+const char* EntryPointName(EntryPoint e);
+
+struct EntryResult {
+  EntryPoint entry = EntryPoint::kSyscall;
+  SolveStatus status = SolveStatus::kInfeasible;
+  Cycles wcet = 0;
+  double micros = 0;  // at the modelled 532 MHz clock
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t loops_bounded_auto = 0;   // Section 5.3
+  std::size_t loops_bounded_annot = 0;
+  Trace worst_trace;
+};
+
+class WcetAnalyzer {
+ public:
+  WcetAnalyzer(const KernelImage& image, const AnalysisOptions& options);
+
+  EntryResult Analyze(EntryPoint entry) const;
+
+  // Computed cost of a specific concrete path under the conservative model
+  // (forcing the analysis onto a measured path, Sections 5.4/6.2).
+  Cycles EvaluateTrace(const Trace& trace) const;
+
+  // Worst-case interrupt response time: WCET(longest entry) + WCET(interrupt
+  // path) (paper Section 6).
+  Cycles InterruptResponseBound() const;
+
+  const CostModelOptions& cost_options() const { return cost_opts_; }
+
+ private:
+  FuncId EntryFunc(EntryPoint e) const;
+
+  const KernelImage* image_;
+  AnalysisOptions opts_;
+  CostModelOptions cost_opts_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_WCET_ANALYSIS_H_

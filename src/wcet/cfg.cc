@@ -1,0 +1,213 @@
+#include "src/wcet/cfg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace pmk {
+
+InlinedGraph::InlinedGraph(const Program& program, FuncId entry)
+    : program_(&program), entry_(entry) {
+  const CloneResult root = Clone(entry);
+  entry_node_ = root.entry;
+  source_edge_ = NewEdge(kNoNode, entry_node_, InlinedEdge::Kind::kSource);
+  // Path ends: flagged blocks, plus the entry function's return nodes (the
+  // kernel-exit blocks are flagged anyway; this keeps the sink total).
+  for (const InlinedNode& n : nodes_) {
+    if (program.block(n.block).is_path_end) {
+      sink_edges_.push_back(NewEdge(n.id, kNoNode, InlinedEdge::Kind::kSink));
+    }
+  }
+  if (sink_edges_.empty()) {
+    throw std::logic_error("InlinedGraph: entry function has no path-end blocks");
+  }
+  FindLoops();
+}
+
+NodeId InlinedGraph::NewNode(BlockId block, std::uint32_t instance) {
+  InlinedNode n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.block = block;
+  n.instance = instance;
+  nodes_.push_back(std::move(n));
+  instances_[instance].push_back(nodes_.back().id);
+  return nodes_.back().id;
+}
+
+EdgeId InlinedGraph::NewEdge(NodeId from, NodeId to, InlinedEdge::Kind kind) {
+  InlinedEdge e;
+  e.id = static_cast<EdgeId>(edges_.size());
+  e.from = from;
+  e.to = to;
+  e.kind = kind;
+  edges_.push_back(e);
+  if (from != kNoNode) {
+    nodes_[from].out.push_back(e.id);
+  }
+  if (to != kNoNode) {
+    nodes_[to].in.push_back(e.id);
+  }
+  return e.id;
+}
+
+InlinedGraph::CloneResult InlinedGraph::Clone(FuncId func) {
+  const std::uint32_t instance = static_cast<std::uint32_t>(instances_.size());
+  instances_.emplace_back();
+  const Function& f = program_->function(func);
+
+  // First create all nodes of this instance.
+  std::vector<NodeId> local(program_->num_blocks(), kNoNode);
+  for (BlockId b : f.blocks) {
+    local[b] = NewNode(b, instance);
+  }
+  CloneResult res;
+  res.entry = local[f.entry];
+
+  // Then wire edges, recursing into callees.
+  for (BlockId bid : f.blocks) {
+    const Block& b = program_->block(bid);
+    if (b.is_return) {
+      res.returns.push_back(local[bid]);
+      continue;
+    }
+    if (b.callee != kNoFunc) {
+      const CloneResult callee = Clone(b.callee);
+      NewEdge(local[bid], callee.entry, InlinedEdge::Kind::kCall);
+      for (NodeId r : callee.returns) {
+        NewEdge(r, local[b.succs[0]], InlinedEdge::Kind::kReturn);
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < b.succs.size(); ++i) {
+      NewEdge(local[bid], local[b.succs[i]],
+              i == 0 ? InlinedEdge::Kind::kFallThrough : InlinedEdge::Kind::kTaken);
+    }
+  }
+  return res;
+}
+
+void InlinedGraph::FindLoops() {
+  // Iterative DFS to find back edges (structured graphs: target on stack).
+  enum : std::uint8_t { kWhite, kGrey, kBlack };
+  std::vector<std::uint8_t> color(nodes_.size(), kWhite);
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  std::vector<std::pair<NodeId, NodeId>> backedges;  // (from, head)
+
+  stack.emplace_back(entry_node_, 0);
+  color[entry_node_] = kGrey;
+  while (!stack.empty()) {
+    auto& [n, i] = stack.back();
+    if (i >= nodes_[n].out.size()) {
+      color[n] = kBlack;
+      stack.pop_back();
+      continue;
+    }
+    const InlinedEdge& e = edges_[nodes_[n].out[i++]];
+    if (e.to == kNoNode) {
+      continue;  // sink edge
+    }
+    if (color[e.to] == kWhite) {
+      color[e.to] = kGrey;
+      stack.emplace_back(e.to, 0);
+    } else if (color[e.to] == kGrey) {
+      backedges.emplace_back(n, e.to);
+    }
+  }
+
+  // Natural loop per head: body = head + nodes that reach any back-edge
+  // source without passing the head (reverse reachability).
+  std::vector<NodeId> heads;
+  for (const auto& [from, head] : backedges) {
+    if (std::find(heads.begin(), heads.end(), head) == heads.end()) {
+      heads.push_back(head);
+    }
+  }
+  for (NodeId head : heads) {
+    InlinedLoop loop;
+    loop.head = head;
+    std::vector<bool> in_body(nodes_.size(), false);
+    in_body[head] = true;
+    std::vector<NodeId> work;
+    for (const auto& [from, h] : backedges) {
+      if (h == head && !in_body[from]) {
+        in_body[from] = true;
+        work.push_back(from);
+      }
+    }
+    while (!work.empty()) {
+      const NodeId n = work.back();
+      work.pop_back();
+      for (EdgeId eid : nodes_[n].in) {
+        const InlinedEdge& e = edges_[eid];
+        if (e.from != kNoNode && !in_body[e.from]) {
+          in_body[e.from] = true;
+          work.push_back(e.from);
+        }
+      }
+    }
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (in_body[n]) {
+        loop.body.push_back(n);
+      }
+    }
+    for (EdgeId eid : nodes_[head].in) {
+      const InlinedEdge& e = edges_[eid];
+      if (e.from == kNoNode) {
+        continue;
+      }
+      if (in_body[e.from]) {
+        loop.backedges.push_back(eid);
+      } else {
+        loop.entries.push_back(eid);
+      }
+    }
+    if (loop.entries.empty()) {
+      throw std::logic_error("InlinedGraph: loop head with no entry edges");
+    }
+    loops_.push_back(std::move(loop));
+  }
+}
+
+std::vector<NodeId> InlinedGraph::QuasiTopoOrder() const {
+  // Back edges to ignore.
+  std::vector<bool> is_back(edges_.size(), false);
+  for (const InlinedLoop& l : loops_) {
+    for (EdgeId e : l.backedges) {
+      is_back[e] = true;
+    }
+  }
+  // Kahn's algorithm on the remaining DAG.
+  std::vector<std::uint32_t> indeg(nodes_.size(), 0);
+  for (const InlinedEdge& e : edges_) {
+    if (e.from != kNoNode && e.to != kNoNode && !is_back[e.id]) {
+      indeg[e.to]++;
+    }
+  }
+  std::vector<NodeId> order;
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (indeg[n] == 0) {
+      ready.push_back(n);
+    }
+  }
+  while (!ready.empty()) {
+    const NodeId n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (EdgeId eid : nodes_[n].out) {
+      const InlinedEdge& e = edges_[eid];
+      if (e.to == kNoNode || is_back[eid]) {
+        continue;
+      }
+      if (--indeg[e.to] == 0) {
+        ready.push_back(e.to);
+      }
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::logic_error("InlinedGraph: quasi-topological order incomplete (irreducible?)");
+  }
+  return order;
+}
+
+}  // namespace pmk

@@ -1,0 +1,105 @@
+// Virtually-inlined control-flow graph for WCET analysis (paper Section 5.2).
+//
+// The analysis inlines every function at every call site so that cache and
+// path analysis are context-sensitive: "the processor's cache will often be
+// in wildly different states depending on the execution history". The result
+// is a DAG of function instances whose only cycles are intra-function loops.
+
+#ifndef SRC_WCET_CFG_H_
+#define SRC_WCET_CFG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kir/program.h"
+
+namespace pmk {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct InlinedNode {
+  NodeId id = kNoNode;
+  BlockId block = kNoBlock;    // underlying kir block
+  std::uint32_t instance = 0;  // function-instance index (context)
+  std::vector<EdgeId> in;
+  std::vector<EdgeId> out;
+};
+
+struct InlinedEdge {
+  EdgeId id = 0;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  enum class Kind : std::uint8_t {
+    kFallThrough,  // succs[0]
+    kTaken,        // succs[1]
+    kCall,
+    kReturn,
+    kSource,  // virtual entry edge
+    kSink,    // path-end -> virtual sink
+  } kind = Kind::kFallThrough;
+};
+
+// A natural loop within one function instance.
+struct InlinedLoop {
+  NodeId head = kNoNode;
+  std::vector<NodeId> body;       // includes head
+  std::vector<EdgeId> entries;    // edges into head from outside the body
+  std::vector<EdgeId> backedges;  // edges into head from inside the body
+  std::uint32_t bound = 0;        // max head executions per entry (0=unknown)
+};
+
+class InlinedGraph {
+ public:
+  // Builds the inlined graph for kernel entry point |entry|.
+  InlinedGraph(const Program& program, FuncId entry);
+
+  const Program& program() const { return *program_; }
+  FuncId entry() const { return entry_; }
+
+  const std::vector<InlinedNode>& nodes() const { return nodes_; }
+  const std::vector<InlinedEdge>& edges() const { return edges_; }
+  const std::vector<InlinedLoop>& loops() const { return loops_; }
+  std::vector<InlinedLoop>& mutable_loops() { return loops_; }
+
+  NodeId entry_node() const { return entry_node_; }
+  EdgeId source_edge() const { return source_edge_; }
+  const std::vector<EdgeId>& sink_edges() const { return sink_edges_; }
+
+  const Block& BlockOf(NodeId n) const { return program_->block(nodes_[n].block); }
+
+  // Nodes of one function instance in that function's block order.
+  const std::vector<NodeId>& InstanceNodes(std::uint32_t instance) const {
+    return instances_[instance];
+  }
+  std::size_t NumInstances() const { return instances_.size(); }
+
+  // Topological order of nodes ignoring loop back edges (for dataflow).
+  std::vector<NodeId> QuasiTopoOrder() const;
+
+ private:
+  // Recursively clones |func|; returns (entry node, return nodes).
+  struct CloneResult {
+    NodeId entry = kNoNode;
+    std::vector<NodeId> returns;
+  };
+  CloneResult Clone(FuncId func);
+  NodeId NewNode(BlockId block, std::uint32_t instance);
+  EdgeId NewEdge(NodeId from, NodeId to, InlinedEdge::Kind kind);
+  void FindLoops();
+
+  const Program* program_;
+  FuncId entry_;
+  std::vector<InlinedNode> nodes_;
+  std::vector<InlinedEdge> edges_;
+  std::vector<InlinedLoop> loops_;
+  std::vector<std::vector<NodeId>> instances_;
+  NodeId entry_node_ = kNoNode;
+  EdgeId source_edge_ = 0;
+  std::vector<EdgeId> sink_edges_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_WCET_CFG_H_

@@ -1,0 +1,310 @@
+#include "src/wcet/cost.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace pmk {
+
+namespace {
+
+constexpr Addr kUnknownLine = static_cast<Addr>(-1);
+
+// Abstract direct-mapped must-cache: per set, the line guaranteed resident.
+class MustCache {
+ public:
+  MustCache(std::uint32_t way_bytes, std::uint32_t line_bytes)
+      : line_bytes_(line_bytes), sets_(way_bytes / line_bytes, kUnknownLine) {}
+
+  // Returns true if the access is a guaranteed hit; installs the line.
+  bool Access(Addr addr) {
+    const Addr line = addr / line_bytes_ * line_bytes_;
+    const std::uint32_t s = static_cast<std::uint32_t>((line / line_bytes_) % sets_.size());
+    const bool hit = sets_[s] == line;
+    sets_[s] = line;
+    return hit;
+  }
+
+  void JoinWith(const MustCache& other) {
+    for (std::size_t i = 0; i < sets_.size(); ++i) {
+      if (sets_[i] != other.sets_[i]) {
+        sets_[i] = kUnknownLine;
+      }
+    }
+  }
+
+  bool operator==(const MustCache& other) const { return sets_ == other.sets_; }
+
+ private:
+  std::uint32_t line_bytes_;
+  std::vector<Addr> sets_;
+};
+
+struct AbstractState {
+  MustCache icache;
+  MustCache dcache;
+  bool reachable = false;
+
+  AbstractState(std::uint32_t way, std::uint32_t line) : icache(way, line), dcache(way, line) {}
+
+  bool operator==(const AbstractState& o) const {
+    return reachable == o.reachable && icache == o.icache && dcache == o.dcache;
+  }
+};
+
+struct Access {
+  Addr line = 0;
+  bool instruction = false;
+};
+
+// Enumerates the statically-known lines a block touches.
+void CollectAccesses(const Program& p, const Block& b, const CostModelOptions& opts,
+                     std::vector<Access>& out) {
+  const Addr first = b.address / opts.line_bytes;
+  const Addr last = (b.address + static_cast<Addr>(b.instr_count) * 4 - 1) / opts.line_bytes;
+  for (Addr l = first; l <= last; ++l) {
+    out.push_back({l * opts.line_bytes, true});
+  }
+  for (const StaticAccess& a : b.static_accesses) {
+    const Addr addr = p.ResolveStatic(b, a);
+    out.push_back({addr / opts.line_bytes * opts.line_bytes, false});
+  }
+}
+
+bool IsPinned(const CostModelOptions& opts, const Access& a) {
+  return a.instruction ? opts.pinned_ilines.count(a.line) != 0
+                       : opts.pinned_dlines.count(a.line) != 0;
+}
+
+// Fixed (cache-independent) cost of one block execution.
+Cycles BaseCost(const Block& b, const CostModelOptions& opts) {
+  Cycles cost = b.instr_count + b.raw_cycles;
+  // Every data access pays the pipeline's load-result latency; dynamic
+  // (statically unknown) addresses additionally miss every time.
+  cost += static_cast<Cycles>(b.static_accesses.size()) * opts.load_use_stall;
+  cost += static_cast<Cycles>(b.max_dynamic_accesses) *
+          (opts.load_use_stall + opts.MissPenalty());
+  const bool has_branch = b.is_return || b.callee != kNoFunc || b.succs.size() == 2 ||
+                          b.branch == BranchKind::kDirect;
+  if (has_branch) {
+    cost += opts.branch_cost;
+  }
+  return cost;
+}
+
+}  // namespace
+
+CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts) {
+  const Program& p = g.program();
+  const std::vector<NodeId> order = g.QuasiTopoOrder();
+  const std::uint32_t num_sets = opts.way_bytes / opts.line_bytes;
+
+  // ---- Must-cache fixpoint ----
+  std::vector<AbstractState> in_states(g.nodes().size(),
+                                       AbstractState(opts.way_bytes, opts.line_bytes));
+  std::vector<AbstractState> out_states(g.nodes().size(),
+                                        AbstractState(opts.way_bytes, opts.line_bytes));
+  const auto apply = [&](const Block& b, AbstractState& st) {
+    std::vector<Access> acc;
+    CollectAccesses(p, b, opts, acc);
+    for (const Access& a : acc) {
+      if (IsPinned(opts, a)) {
+        continue;
+      }
+      (a.instruction ? st.icache : st.dcache).Access(a.line);
+    }
+  };
+
+  // Run to convergence: stopping early on a still-changing state would leave
+  // stale must-information (an UNDER-estimate of misses, i.e. unsound).
+  // Convergence is fast in practice (joins only remove information); the cap
+  // is a safety net against non-monotone bugs.
+  constexpr int kMaxPasses = 1000;
+  int pass = 0;
+  for (; pass < kMaxPasses; ++pass) {
+    bool changed = false;
+    for (NodeId n : order) {
+      AbstractState st(opts.way_bytes, opts.line_bytes);
+      bool first = true;
+      for (EdgeId eid : g.nodes()[n].in) {
+        const InlinedEdge& e = g.edges()[eid];
+        const AbstractState* pred = nullptr;
+        AbstractState cold(opts.way_bytes, opts.line_bytes);
+        if (e.from == kNoNode) {
+          cold.reachable = true;  // kernel entry: cold caches
+          pred = &cold;
+        } else if (out_states[e.from].reachable) {
+          pred = &out_states[e.from];
+        } else {
+          continue;
+        }
+        if (first) {
+          st = *pred;
+          first = false;
+        } else {
+          st.icache.JoinWith(pred->icache);
+          st.dcache.JoinWith(pred->dcache);
+        }
+      }
+      if (first) {
+        continue;  // unreachable so far
+      }
+      st.reachable = true;
+      if (!(in_states[n] == st)) {
+        in_states[n] = st;
+        changed = true;
+      }
+      AbstractState out = st;
+      apply(g.BlockOf(n), out);
+      if (!(out_states[n] == out)) {
+        out_states[n] = out;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  if (pass == kMaxPasses) {
+    throw std::logic_error("must-cache analysis failed to converge");
+  }
+
+  // ---- Loop membership: containing loops per node, outermost first ----
+  std::vector<std::vector<int>> containing(g.nodes().size());
+  {
+    std::vector<std::size_t> by_size(g.loops().size());
+    for (std::size_t i = 0; i < by_size.size(); ++i) {
+      by_size[i] = i;
+    }
+    std::sort(by_size.begin(), by_size.end(), [&](std::size_t a, std::size_t b) {
+      return g.loops()[a].body.size() > g.loops()[b].body.size();
+    });
+    for (std::size_t li : by_size) {
+      for (NodeId n : g.loops()[li].body) {
+        containing[n].push_back(static_cast<int>(li));
+      }
+    }
+  }
+
+  // ---- Persistence: per loop, lines whose cache set is touched by exactly
+  // one distinct line within the body (so they cannot be evicted while the
+  // loop runs) ----
+  // Key: (loop, instruction?, set) -> distinct lines seen.
+  std::vector<std::map<std::uint32_t, Addr>> iset_line(g.loops().size());
+  std::vector<std::map<std::uint32_t, Addr>> dset_line(g.loops().size());
+  constexpr Addr kConflict = static_cast<Addr>(-2);
+  for (NodeId n = 0; n < g.nodes().size(); ++n) {
+    if (containing[n].empty()) {
+      continue;
+    }
+    std::vector<Access> acc;
+    CollectAccesses(p, g.BlockOf(n), opts, acc);
+    // A node's accesses are registered in EVERY loop containing it, so an
+    // inner-loop body also constrains persistence of the outer loop.
+    for (int lj : containing[n]) {
+      for (const Access& a : acc) {
+        if (IsPinned(opts, a)) {
+          continue;
+        }
+        const std::uint32_t set = static_cast<std::uint32_t>((a.line / opts.line_bytes) % num_sets);
+        auto& m = (a.instruction ? iset_line : dset_line)[lj];
+        auto [it, inserted] = m.emplace(set, a.line);
+        if (!inserted && it->second != a.line) {
+          it->second = kConflict;
+        }
+      }
+    }
+  }
+  const auto persistent_in = [&](int li, const Access& a) {
+    const std::uint32_t set = static_cast<std::uint32_t>((a.line / opts.line_bytes) % num_sets);
+    const auto& m = (a.instruction ? iset_line : dset_line)[li];
+    const auto it = m.find(set);
+    return it != m.end() && it->second == a.line;
+  };
+  // The first-miss charge belongs to the OUTERMOST loop in which the line is
+  // persistent: re-entering an inner loop does not evict lines the outer
+  // loop also preserves.
+  const auto persistence_loop = [&](NodeId n, const Access& a) -> int {
+    for (int li : containing[n]) {  // outermost first
+      if (persistent_in(li, a)) {
+        return li;
+      }
+    }
+    return -1;
+  };
+
+  // ---- Per-node costs + per-loop first-miss charges ----
+  CostResult res;
+  res.node_costs.assign(g.nodes().size(), 0);
+  res.edge_extras.assign(g.edges().size(), 0);
+  std::vector<std::set<Addr>> loop_first_i(g.loops().size());
+  std::vector<std::set<Addr>> loop_first_d(g.loops().size());
+
+  for (NodeId n = 0; n < g.nodes().size(); ++n) {
+    if (!in_states[n].reachable) {
+      continue;
+    }
+    const Block& b = g.BlockOf(n);
+    Cycles cost = BaseCost(b, opts);
+    AbstractState st = in_states[n];
+    std::vector<Access> acc;
+    CollectAccesses(p, b, opts, acc);
+    for (const Access& a : acc) {
+      if (IsPinned(opts, a)) {
+        continue;
+      }
+      const bool hit = (a.instruction ? st.icache : st.dcache).Access(a.line);
+      if (hit) {
+        continue;
+      }
+      const int li = persistence_loop(n, a);
+      if (li >= 0) {
+        // First-miss: charged once on that loop's entry edges.
+        (a.instruction ? loop_first_i : loop_first_d)[li].insert(a.line);
+      } else {
+        cost += opts.MissPenaltyFor(a.line);
+      }
+    }
+    res.node_costs[n] = cost;
+  }
+
+  for (std::size_t li = 0; li < g.loops().size(); ++li) {
+    Cycles extra = 0;
+    for (Addr line : loop_first_i[li]) {
+      extra += opts.MissPenaltyFor(line);
+    }
+    for (Addr line : loop_first_d[li]) {
+      extra += opts.MissPenaltyFor(line);
+    }
+    if (extra == 0) {
+      continue;
+    }
+    for (EdgeId e : g.loops()[li].entries) {
+      res.edge_extras[e] += extra;
+    }
+  }
+  return res;
+}
+
+Cycles EvaluateTraceCost(const Program& p, const Trace& trace, const CostModelOptions& opts) {
+  AbstractState st(opts.way_bytes, opts.line_bytes);
+  Cycles total = 0;
+  for (BlockId bid : trace.blocks) {
+    const Block& b = p.block(bid);
+    total += BaseCost(b, opts);
+    std::vector<Access> acc;
+    CollectAccesses(p, b, opts, acc);
+    for (const Access& a : acc) {
+      if (IsPinned(opts, a)) {
+        continue;
+      }
+      if (!(a.instruction ? st.icache : st.dcache).Access(a.line)) {
+        total += opts.MissPenaltyFor(a.line);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace pmk

@@ -1,0 +1,74 @@
+// Conservative per-node cost model (paper Section 5.1).
+//
+// The caches are analyzed as direct-mapped caches of one way's size — "a
+// pessimistic but sound approximation", since the most recently accessed line
+// in a set is guaranteed resident under round-robin replacement. A must-cache
+// abstract analysis over the inlined graph classifies fetches and
+// statically-addressed data accesses; a persistence analysis classifies lines
+// that cannot be evicted within a loop as first-miss and charges them on the
+// loop's entry edges (Chronos-style cache analysis). Dynamically-addressed
+// accesses are conservatively charged as misses on every execution. The L2
+// is not modelled beyond its effect on the memory latency (Chronos's address
+// analysis is substituted by the kernel IR's declared access discipline; see
+// DESIGN.md).
+
+#ifndef SRC_WCET_COST_H_
+#define SRC_WCET_COST_H_
+
+#include <set>
+#include <vector>
+
+#include "src/hw/cycles.h"
+#include "src/kir/trace.h"
+#include "src/wcet/cfg.h"
+
+namespace pmk {
+
+struct CostModelOptions {
+  bool l2_enabled = false;
+  Cycles mem_latency_l2_off = 60;
+  Cycles mem_latency_l2_on = 96;
+  Cycles l2_hit_latency = 26;
+  Cycles load_use_stall = 2;  // ARM1136 load result latency (pipeline model)
+  Cycles branch_cost = 5;     // branch predictor disabled: constant 5 cycles
+  std::uint32_t line_bytes = 32;
+  std::uint32_t way_bytes = 4 * 1024;  // 16 KiB 4-way: one way = 4 KiB
+  std::set<Addr> pinned_ilines;        // way-locked lines: always hit
+  std::set<Addr> pinned_dlines;
+
+  // "Lock the entire kernel into the L2" (paper Sections 4, 6.4, 8): every
+  // statically-addressed access within [l2_pinned_lo, l2_pinned_hi) misses
+  // no further than the L2. Requires l2_enabled.
+  bool l2_kernel_pinned = false;
+  Addr l2_pinned_lo = 0;
+  Addr l2_pinned_hi = 0;
+
+  Cycles MissPenalty() const { return l2_enabled ? mem_latency_l2_on : mem_latency_l2_off; }
+  Cycles MissPenaltyFor(Addr addr) const {
+    if (l2_kernel_pinned && addr >= l2_pinned_lo && addr < l2_pinned_hi) {
+      return l2_hit_latency;
+    }
+    return MissPenalty();
+  }
+};
+
+struct CostResult {
+  std::vector<Cycles> node_costs;   // per inlined node, per execution
+  std::vector<Cycles> edge_extras;  // per inlined edge: loop first-miss cost
+};
+
+// Computes worst-case execution costs: per-node recurring cost plus, for
+// loop-persistent lines, a one-time cost on the loop's entry edges.
+// Loop bounds must already be attached (ComputeLoopBounds) so innermost-loop
+// membership is known.
+CostResult ComputeNodeCosts(const InlinedGraph& graph, const CostModelOptions& opts);
+
+// Conservative cost of one concrete executed path (block sequence), using
+// the same cost model without joins. Used to force the analysis onto a
+// measured path (paper Sections 5.4 and 6.2).
+Cycles EvaluateTraceCost(const Program& program, const Trace& trace,
+                         const CostModelOptions& opts);
+
+}  // namespace pmk
+
+#endif  // SRC_WCET_COST_H_

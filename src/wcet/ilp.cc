@@ -1,0 +1,336 @@
+#include "src/wcet/ilp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pmk {
+
+namespace {
+
+constexpr double kEps = 1e-7;
+constexpr std::uint64_t kMaxPivots = 200'000;
+
+// Dense two-phase simplex over a row-major tableau.
+class Simplex {
+ public:
+  explicit Simplex(const LinearProgram& lp) : lp_(lp) {}
+
+  SolveResult Solve() {
+    Build();
+    // Phase 1: minimize the sum of artificial variables.
+    if (num_artificial_ > 0) {
+      SetPhase1Objective();
+      const SolveStatus st = Iterate();
+      if (st != SolveStatus::kOptimal) {
+        return {st == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : st, 0, {}};
+      }
+      // Phase 1 maximizes -(sum of artificials); feasible iff that optimum
+      // is (numerically) zero.
+      if (Objective() < -kEps * (1 + static_cast<double>(m_))) {
+        return {SolveStatus::kInfeasible, 0, {}};
+      }
+      DriveOutArtificials();
+    }
+    // Phase 2: maximize the real objective.
+    SetPhase2Objective();
+    const SolveStatus st = Iterate();
+    if (st != SolveStatus::kOptimal) {
+      return {st, 0, {}};
+    }
+    SolveResult res;
+    res.status = SolveStatus::kOptimal;
+    res.objective = Objective();
+    res.x.assign(lp_.num_vars, 0.0);
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      if (basis_[r] < lp_.num_vars) {
+        res.x[basis_[r]] = Rhs(r);
+      }
+    }
+    return res;
+  }
+
+ private:
+  double& At(std::uint32_t r, std::uint32_t c) { return tab_[static_cast<std::size_t>(r) * stride_ + c]; }
+  double Rhs(std::uint32_t r) { return At(r, n_ - 1); }
+  double Objective() { return At(m_, n_ - 1); }
+
+  void Build() {
+    m_ = static_cast<std::uint32_t>(lp_.rows.size());
+    // Columns: structural vars, then one slack/surplus per <= / >= row, then
+    // artificials, then RHS. Normalize rhs >= 0 first.
+    std::vector<int> slack_col(m_, -1);
+    std::vector<int> art_col(m_, -1);
+    std::vector<int> sign(m_, 1);
+    std::uint32_t extra = 0;
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      const LinearProgram::Row& row = lp_.rows[r];
+      const bool neg = row.rhs < 0;
+      sign[r] = neg ? -1 : 1;
+      if (row.type == LinearProgram::RowType::kLe) {
+        // <= with rhs>=0: slack basic. Negated (>=): surplus + artificial.
+        slack_col[r] = static_cast<int>(lp_.num_vars + extra++);
+        if (neg) {
+          art_col[r] = -2;  // assigned below
+        }
+      } else {
+        art_col[r] = -2;
+      }
+    }
+    std::uint32_t art_base = lp_.num_vars + extra;
+    num_artificial_ = 0;
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      if (art_col[r] == -2) {
+        art_col[r] = static_cast<int>(art_base + num_artificial_++);
+      }
+    }
+    n_ = art_base + num_artificial_ + 1;  // + RHS column
+    stride_ = n_;
+    tab_.assign(static_cast<std::size_t>(m_ + 1) * stride_, 0.0);
+    basis_.assign(m_, 0);
+
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      const LinearProgram::Row& row = lp_.rows[r];
+      const double s = sign[r];
+      for (std::size_t k = 0; k < row.idx.size(); ++k) {
+        At(r, row.idx[k]) += s * row.val[k];
+      }
+      At(r, n_ - 1) = s * row.rhs;
+      if (slack_col[r] >= 0) {
+        // Slack sign: original <= keeps +1; negated <= (now >=) gets -1.
+        At(r, static_cast<std::uint32_t>(slack_col[r])) = (s > 0) ? 1.0 : -1.0;
+      }
+      if (art_col[r] >= 0) {
+        At(r, static_cast<std::uint32_t>(art_col[r])) = 1.0;
+        basis_[r] = static_cast<std::uint32_t>(art_col[r]);
+      } else {
+        basis_[r] = static_cast<std::uint32_t>(slack_col[r]);
+      }
+    }
+    art_base_ = art_base;
+  }
+
+  void SetPhase1Objective() {
+    // Minimize sum of artificials == maximize -(sum): objective row holds
+    // reduced costs for maximization with Objective() = -value.
+    for (std::uint32_t c = 0; c < n_; ++c) {
+      At(m_, c) = 0.0;
+    }
+    for (std::uint32_t a = 0; a < num_artificial_; ++a) {
+      At(m_, art_base_ + a) = 1.0;
+    }
+    // Price out basic artificials.
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      if (basis_[r] >= art_base_) {
+        for (std::uint32_t c = 0; c < n_; ++c) {
+          At(m_, c) -= At(r, c);
+        }
+      }
+    }
+  }
+
+  void SetPhase2Objective() {
+    for (std::uint32_t c = 0; c < n_; ++c) {
+      At(m_, c) = 0.0;
+    }
+    for (std::uint32_t v = 0; v < lp_.num_vars; ++v) {
+      At(m_, v) = -lp_.objective[v];  // maximize
+    }
+    // Forbid artificial re-entry by leaving their reduced costs at 0 but
+    // never selecting them as entering columns (handled in Iterate).
+    // Price out the current basis.
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      const double coef = At(m_, basis_[r]);
+      if (std::abs(coef) > kEps) {
+        for (std::uint32_t c = 0; c < n_; ++c) {
+          At(m_, c) -= coef * At(r, c);
+        }
+      }
+    }
+    phase2_ = true;
+  }
+
+  void DriveOutArtificials() {
+    for (std::uint32_t r = 0; r < m_; ++r) {
+      if (basis_[r] < art_base_) {
+        continue;
+      }
+      // Pivot on any non-artificial column with a nonzero entry.
+      for (std::uint32_t c = 0; c < art_base_; ++c) {
+        if (std::abs(At(r, c)) > 1e-6) {
+          Pivot(r, c);
+          break;
+        }
+      }
+      // If none exists the row is redundant (all-zero); leave it.
+    }
+  }
+
+  SolveStatus Iterate() {
+    std::uint64_t pivots = 0;
+    for (;;) {
+      if (++pivots > kMaxPivots) {
+        return SolveStatus::kIterationLimit;
+      }
+      // Entering column: most negative reduced cost (Dantzig); switch to
+      // Bland's rule late to guarantee termination.
+      const std::uint32_t limit = phase2_ ? art_base_ : n_ - 1;
+      std::int64_t enter = -1;
+      if (pivots < kMaxPivots / 2) {
+        double best = -kEps;
+        for (std::uint32_t c = 0; c < limit; ++c) {
+          if (At(m_, c) < best) {
+            best = At(m_, c);
+            enter = c;
+          }
+        }
+      } else {
+        for (std::uint32_t c = 0; c < limit; ++c) {
+          if (At(m_, c) < -kEps) {
+            enter = c;
+            break;
+          }
+        }
+      }
+      if (enter < 0) {
+        return SolveStatus::kOptimal;
+      }
+      // Leaving row: ratio test (Bland tie-break on basis index).
+      std::int64_t leave = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::uint32_t r = 0; r < m_; ++r) {
+        const double a = At(r, static_cast<std::uint32_t>(enter));
+        if (a > kEps) {
+          const double ratio = Rhs(r) / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && leave >= 0 && basis_[r] < basis_[leave])) {
+            best_ratio = ratio;
+            leave = r;
+          }
+        }
+      }
+      if (leave < 0) {
+        return SolveStatus::kUnbounded;
+      }
+      Pivot(static_cast<std::uint32_t>(leave), static_cast<std::uint32_t>(enter));
+    }
+  }
+
+  void Pivot(std::uint32_t pr, std::uint32_t pc) {
+    const double pv = At(pr, pc);
+    assert(std::abs(pv) > 1e-12);
+    const double inv = 1.0 / pv;
+    for (std::uint32_t c = 0; c < n_; ++c) {
+      At(pr, c) *= inv;
+    }
+    At(pr, pc) = 1.0;
+    for (std::uint32_t r = 0; r <= m_; ++r) {
+      if (r == pr) {
+        continue;
+      }
+      const double f = At(r, pc);
+      if (std::abs(f) < 1e-12) {
+        continue;
+      }
+      for (std::uint32_t c = 0; c < n_; ++c) {
+        At(r, c) -= f * At(pr, c);
+      }
+      At(r, pc) = 0.0;
+    }
+    basis_[pr] = pc;
+  }
+
+  const LinearProgram& lp_;
+  std::vector<double> tab_;
+  std::vector<std::uint32_t> basis_;
+  std::uint32_t m_ = 0;
+  std::uint32_t n_ = 0;
+  std::uint32_t stride_ = 0;
+  std::uint32_t art_base_ = 0;
+  std::uint32_t num_artificial_ = 0;
+  bool phase2_ = false;
+};
+
+}  // namespace
+
+SolveResult SolveLp(const LinearProgram& lp) { return Simplex(lp).Solve(); }
+
+SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
+  // Branch and bound, depth-first, best-incumbent pruning.
+  struct Node {
+    std::vector<LinearProgram::Row> extra;
+  };
+  std::vector<Node> stack{Node{}};
+  SolveResult best;
+  best.status = SolveStatus::kInfeasible;
+  double incumbent = -std::numeric_limits<double>::infinity();
+  std::uint32_t explored = 0;
+  bool hit_limit = false;
+
+  while (!stack.empty()) {
+    if (++explored > max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+
+    LinearProgram sub = lp;
+    for (const auto& row : node.extra) {
+      sub.AddRow(row);
+    }
+    const SolveResult rel = SolveLp(sub);
+    if (rel.status == SolveStatus::kUnbounded) {
+      return rel;  // the ILP itself is unbounded (missing loop bound)
+    }
+    if (rel.status != SolveStatus::kOptimal || rel.objective <= incumbent + 1e-6) {
+      continue;
+    }
+    // Find a fractional variable.
+    std::int64_t frac = -1;
+    for (std::uint32_t v = 0; v < lp.num_vars; ++v) {
+      if (std::abs(rel.x[v] - std::round(rel.x[v])) > 1e-5) {
+        frac = v;
+        break;
+      }
+    }
+    if (frac < 0) {
+      incumbent = rel.objective;
+      best = rel;
+      for (double& xv : best.x) {
+        xv = std::round(xv);
+      }
+      continue;
+    }
+    const double v = rel.x[frac];
+    Node down = node;
+    {
+      LinearProgram::Row r;
+      r.idx = {static_cast<std::uint32_t>(frac)};
+      r.val = {1.0};
+      r.rhs = std::floor(v);
+      r.type = LinearProgram::RowType::kLe;
+      down.extra.push_back(std::move(r));
+    }
+    Node up = node;
+    {
+      // x >= ceil(v)  <=>  -x <= -ceil(v)
+      LinearProgram::Row r;
+      r.idx = {static_cast<std::uint32_t>(frac)};
+      r.val = {-1.0};
+      r.rhs = -std::ceil(v);
+      r.type = LinearProgram::RowType::kLe;
+      up.extra.push_back(std::move(r));
+    }
+    stack.push_back(std::move(up));
+    stack.push_back(std::move(down));
+  }
+
+  if (best.status != SolveStatus::kOptimal && hit_limit) {
+    best.status = SolveStatus::kIterationLimit;
+  }
+  return best;
+}
+
+}  // namespace pmk

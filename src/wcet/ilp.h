@@ -1,0 +1,60 @@
+// Exact integer-linear-programming solver for IPET (paper Section 5.2).
+//
+// Chronos emits an ILP that is handed to an off-the-shelf solver; we build
+// that solver too: a dense two-phase simplex for the LP relaxation plus
+// branch-and-bound on fractional variables. IPET instances are network-flow
+// shaped, so the relaxation is almost always integral and branching is a
+// rarely-exercised safety net.
+
+#ifndef SRC_WCET_ILP_H_
+#define SRC_WCET_ILP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pmk {
+
+struct LinearProgram {
+  enum class RowType : std::uint8_t { kLe, kEq };
+
+  struct Row {
+    // Sparse coefficients: parallel (index, value) lists.
+    std::vector<std::uint32_t> idx;
+    std::vector<double> val;
+    double rhs = 0;
+    RowType type = RowType::kLe;
+  };
+
+  std::uint32_t num_vars = 0;
+  std::vector<double> objective;  // maximize objective . x, x >= 0
+  std::vector<Row> rows;
+
+  std::uint32_t AddVar(double obj_coeff = 0) {
+    objective.push_back(obj_coeff);
+    return num_vars++;
+  }
+  void AddRow(Row row) { rows.push_back(std::move(row)); }
+};
+
+enum class SolveStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+// Solves the LP relaxation (x real, >= 0).
+SolveResult SolveLp(const LinearProgram& lp);
+
+// Solves with all variables integer. |max_nodes| bounds branch-and-bound.
+SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes = 10'000);
+
+}  // namespace pmk
+
+#endif  // SRC_WCET_ILP_H_

@@ -1,0 +1,255 @@
+#include "src/wcet/ipet.h"
+
+#include <cassert>
+#include <cmath>
+#include <list>
+#include <map>
+#include <stdexcept>
+
+namespace pmk {
+
+IpetResult RunIpet(const InlinedGraph& g, const CostResult& costs,
+                   const IpetOptions& options,
+                   const std::vector<ManualConstraint>& constraints) {
+  LinearProgram lp;
+  // One variable per edge; objective: entering an edge pays its target's
+  // per-execution cost plus any loop first-miss charge on the edge itself.
+  for (const InlinedEdge& e : g.edges()) {
+    double coeff = static_cast<double>(costs.edge_extras[e.id]);
+    if (e.to != kNoNode) {
+      coeff += static_cast<double>(costs.node_costs[e.to]);
+    }
+    lp.AddVar(coeff);
+  }
+
+  // Flow conservation at every node.
+  for (const InlinedNode& n : g.nodes()) {
+    LinearProgram::Row row;
+    row.type = LinearProgram::RowType::kEq;
+    row.rhs = 0;
+    for (EdgeId eid : n.in) {
+      row.idx.push_back(eid);
+      row.val.push_back(1.0);
+    }
+    for (EdgeId eid : n.out) {
+      row.idx.push_back(eid);
+      row.val.push_back(-1.0);
+    }
+    lp.AddRow(std::move(row));
+  }
+
+  // The kernel is entered exactly once.
+  {
+    LinearProgram::Row row;
+    row.type = LinearProgram::RowType::kEq;
+    row.rhs = 1;
+    row.idx.push_back(g.source_edge());
+    row.val.push_back(1.0);
+    lp.AddRow(std::move(row));
+  }
+
+  // Loop bounds: head executions <= bound * entry-edge executions.
+  for (const InlinedLoop& loop : g.loops()) {
+    if (loop.bound == 0) {
+      continue;  // unbounded: the LP detects it if the path can use the loop
+    }
+    LinearProgram::Row row;
+    row.type = LinearProgram::RowType::kLe;
+    row.rhs = 0;
+    for (EdgeId eid : g.nodes()[loop.head].in) {
+      row.idx.push_back(eid);
+      row.val.push_back(1.0);
+    }
+    for (EdgeId eid : loop.entries) {
+      row.idx.push_back(eid);
+      row.val.push_back(-static_cast<double>(loop.bound));
+    }
+    lp.AddRow(std::move(row));
+  }
+
+  // Analyzed paths end at the FIRST path-end block they reach (kernel exit
+  // or transfer to the interrupt handler): path-end nodes may only flow into
+  // the virtual sink, never onward into post-path code.
+  for (const InlinedNode& n : g.nodes()) {
+    if (!g.BlockOf(n.id).is_path_end) {
+      continue;
+    }
+    for (EdgeId eid : n.out) {
+      if (g.edges()[eid].kind == InlinedEdge::Kind::kSink) {
+        continue;
+      }
+      LinearProgram::Row row;
+      row.type = LinearProgram::RowType::kEq;
+      row.rhs = 0;
+      row.idx.push_back(eid);
+      row.val.push_back(1.0);
+      lp.AddRow(std::move(row));
+    }
+  }
+
+  // Latency mode: execution cannot continue past a preemption point.
+  if (options.irq_pending) {
+    for (const InlinedNode& n : g.nodes()) {
+      if (!g.BlockOf(n.id).is_preemption_point) {
+        continue;
+      }
+      for (EdgeId eid : n.out) {
+        if (g.edges()[eid].kind == InlinedEdge::Kind::kFallThrough) {
+          LinearProgram::Row row;
+          row.type = LinearProgram::RowType::kEq;
+          row.rhs = 0;
+          row.idx.push_back(eid);
+          row.val.push_back(1.0);
+          lp.AddRow(std::move(row));
+        }
+      }
+    }
+  }
+
+  // Absolute execution bounds declared on blocks.
+  {
+    std::map<BlockId, std::vector<NodeId>> by_block;
+    for (const InlinedNode& n : g.nodes()) {
+      if (g.BlockOf(n.id).absolute_exec_bound != 0) {
+        by_block[n.block].push_back(n.id);
+      }
+    }
+    for (const auto& [bid, nodes] : by_block) {
+      LinearProgram::Row row;
+      row.type = LinearProgram::RowType::kLe;
+      row.rhs = g.program().block(bid).absolute_exec_bound;
+      for (NodeId n : nodes) {
+        for (EdgeId eid : g.nodes()[n].in) {
+          row.idx.push_back(eid);
+          row.val.push_back(1.0);
+        }
+      }
+      lp.AddRow(std::move(row));
+    }
+  }
+
+  // Manual constraints (Section 5.2).
+  const auto in_edges_of_block = [&](BlockId bid, LinearProgram::Row& row, double coeff) {
+    for (const InlinedNode& n : g.nodes()) {
+      if (n.block == bid) {
+        for (EdgeId eid : n.in) {
+          row.idx.push_back(eid);
+          row.val.push_back(coeff);
+        }
+      }
+    }
+  };
+  for (const ManualConstraint& mc : constraints) {
+    LinearProgram::Row row;
+    switch (mc.kind) {
+      case ManualConstraint::Kind::kConflict: {
+        // Both blocks execute at most once per invocation of their (shared)
+        // function; per invocation only one of them may run. Globally:
+        // n_a + n_b <= invocations of the function = entries of its clones.
+        row.type = LinearProgram::RowType::kLe;
+        row.rhs = 0;
+        in_edges_of_block(mc.a, row, 1.0);
+        in_edges_of_block(mc.b, row, 1.0);
+        const FuncId f = g.program().block(mc.a).func;
+        const BlockId entry = g.program().function(f).entry;
+        in_edges_of_block(entry, row, -1.0);
+        break;
+      }
+      case ManualConstraint::Kind::kConsistent: {
+        row.type = LinearProgram::RowType::kEq;
+        row.rhs = 0;
+        in_edges_of_block(mc.a, row, 1.0);
+        in_edges_of_block(mc.b, row, -1.0);
+        break;
+      }
+      case ManualConstraint::Kind::kExecutes: {
+        row.type = LinearProgram::RowType::kLe;
+        row.rhs = mc.n;
+        in_edges_of_block(mc.a, row, 1.0);
+        break;
+      }
+    }
+    lp.AddRow(std::move(row));
+  }
+
+  const SolveResult sol = SolveIlp(lp);
+  IpetResult res;
+  res.status = sol.status;
+  if (sol.status != SolveStatus::kOptimal) {
+    return res;
+  }
+  res.wcet = static_cast<Cycles>(std::llround(sol.objective));
+  res.edge_counts.resize(g.edges().size(), 0);
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    res.edge_counts[e] = static_cast<std::uint32_t>(std::llround(sol.x[e]));
+  }
+  res.node_counts.resize(g.nodes().size(), 0);
+  for (const InlinedEdge& e : g.edges()) {
+    if (e.to != kNoNode) {
+      res.node_counts[e.to] += res.edge_counts[e.id];
+    }
+  }
+  return res;
+}
+
+Trace ExtractWorstTrace(const InlinedGraph& g, const IpetResult& result) {
+  if (result.status != SolveStatus::kOptimal) {
+    throw std::logic_error("ExtractWorstTrace: no optimal solution");
+  }
+  // A worst path can legitimately be astronomically long (e.g. a fully
+  // non-preemptible address-space teardown iterates millions of times);
+  // materializing it block-by-block is useless. Return an empty trace
+  // instead of exhausting memory.
+  constexpr std::uint64_t kMaxTraceBlocks = 4u << 20;
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : result.edge_counts) {
+    total += c;
+  }
+  if (total > kMaxTraceBlocks) {
+    return Trace{};
+  }
+  // Hierholzer walk over the multigraph defined by the edge counts, from the
+  // entry node to the (unique) sink edge.
+  std::vector<std::uint32_t> remaining = result.edge_counts;
+  std::vector<std::size_t> next_out(g.nodes().size(), 0);
+
+  std::list<NodeId> walk;
+  walk.push_back(g.entry_node());
+
+  const auto take_edge = [&](NodeId at) -> NodeId {
+    const auto& outs = g.nodes()[at].out;
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      const InlinedEdge& e = g.edges()[outs[i]];
+      if (remaining[e.id] > 0) {
+        remaining[e.id]--;
+        return e.to;  // kNoNode for the sink
+      }
+    }
+    return kNoNode;
+  };
+
+  // Hierholzer: build the primary path, then splice remaining cycles in at
+  // the first position that still has unused out-edges.
+  for (auto it = walk.begin(); it != walk.end(); ++it) {
+    NodeId at = *it;
+    const auto insert_pos = std::next(it);
+    while (true) {
+      const NodeId nxt = take_edge(at);
+      if (nxt == kNoNode) {
+        break;  // sink edge consumed or no edges left at this node
+      }
+      walk.insert(insert_pos, nxt);
+      at = nxt;
+    }
+  }
+
+  Trace t;
+  for (NodeId n : walk) {
+    t.blocks.push_back(g.nodes()[n].block);
+  }
+  // Leftover edge counts indicate a disconnected solution (shouldn't happen
+  // with flow conservation); tolerate but flag via trace emptiness.
+  return t;
+}
+
+}  // namespace pmk

@@ -1,0 +1,54 @@
+// Implicit path enumeration (IPET): encodes the inlined CFG, loop bounds and
+// manual path constraints as an ILP whose optimum is the WCET (Section 5.2).
+
+#ifndef SRC_WCET_IPET_H_
+#define SRC_WCET_IPET_H_
+
+#include <vector>
+
+#include "src/kir/trace.h"
+#include "src/wcet/cfg.h"
+#include "src/wcet/cost.h"
+#include "src/wcet/ilp.h"
+
+namespace pmk {
+
+// Manual ILP constraints in the paper's three forms (Section 5.2):
+//   kConflict:   "a conflicts with b in f" — never both in one invocation.
+//   kConsistent: "a is consistent with b in f" — equal execution counts.
+//   kExecutes:   "a executes n times" — at most n in all contexts combined.
+struct ManualConstraint {
+  enum class Kind : std::uint8_t { kConflict, kConsistent, kExecutes };
+  Kind kind = Kind::kExecutes;
+  BlockId a = kNoBlock;
+  BlockId b = kNoBlock;
+  std::uint32_t n = 0;
+};
+
+struct IpetOptions {
+  // Interrupt-latency mode: an interrupt is assumed pending for the whole
+  // path, so execution cannot continue past a preemption point (their
+  // continue edges are pinned to zero). This is what bounds every
+  // preemptible loop to a single chunk.
+  bool irq_pending = true;
+};
+
+struct IpetResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  Cycles wcet = 0;
+  std::vector<std::uint32_t> edge_counts;  // per InlinedGraph edge
+  std::vector<std::uint32_t> node_counts;  // per InlinedGraph node
+};
+
+IpetResult RunIpet(const InlinedGraph& graph, const CostResult& costs,
+                   const IpetOptions& options,
+                   const std::vector<ManualConstraint>& constraints);
+
+// Reconstructs a concrete worst-case block trace from the ILP solution
+// (Hierholzer walk over the edge counts) — the paper's "converted the
+// solution to a concrete execution trace" step (Section 6).
+Trace ExtractWorstTrace(const InlinedGraph& graph, const IpetResult& result);
+
+}  // namespace pmk
+
+#endif  // SRC_WCET_IPET_H_

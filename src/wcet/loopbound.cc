@@ -1,0 +1,232 @@
+#include "src/wcet/loopbound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <optional>
+#include <set>
+
+namespace pmk {
+
+namespace {
+
+constexpr std::uint32_t kMaxIterations = 1u << 22;  // bounded-search cap
+constexpr std::uint32_t kMaxCycles = 512;           // enumerated cycle shapes
+constexpr std::uint32_t kMaxCycleLen = 256;
+
+// The guard register controlling a loop: taken from semantic conditions on
+// blocks of the head's function instance within the body.
+std::optional<std::uint8_t> FindGuardReg(const InlinedGraph& g, const InlinedLoop& loop) {
+  const std::uint32_t inst = g.nodes()[loop.head].instance;
+  for (NodeId n : loop.body) {
+    if (g.nodes()[n].instance != inst) {
+      continue;
+    }
+    const Block& b = g.BlockOf(n);
+    if (b.cond.HasSemantics()) {
+      return b.cond.lhs;
+    }
+  }
+  return std::nullopt;
+}
+
+// Initial value of |reg| on loop entry: a LoopInput range on the head (take
+// the max — all loop updates are decrements, checked below) or a kConst in
+// the same instance outside the body.
+std::optional<std::int64_t> FindInitValue(const InlinedGraph& g, const InlinedLoop& loop,
+                                          std::uint8_t reg) {
+  const Block& head = g.BlockOf(loop.head);
+  for (const LoopInput& in : head.loop_inputs) {
+    if (in.reg == reg) {
+      return in.max;
+    }
+  }
+  const std::uint32_t inst = g.nodes()[loop.head].instance;
+  std::set<NodeId> body(loop.body.begin(), loop.body.end());
+  std::optional<std::int64_t> best;
+  for (NodeId n : g.InstanceNodes(inst)) {
+    if (body.count(n) != 0) {
+      continue;
+    }
+    for (const RegOp& op : g.BlockOf(n).reg_ops) {
+      if (op.kind == RegOp::Kind::kConst && op.dst == reg) {
+        best = best ? std::max(*best, op.imm) : op.imm;
+      }
+    }
+  }
+  return best;
+}
+
+// Enumerates simple cycles head -> ... -> head within the body.
+void EnumerateCycles(const InlinedGraph& g, const InlinedLoop& loop,
+                     std::vector<std::vector<EdgeId>>& out) {
+  std::set<NodeId> body(loop.body.begin(), loop.body.end());
+  std::vector<EdgeId> path;
+  std::set<NodeId> visited;
+
+  struct Frame {
+    NodeId node;
+    std::size_t next_edge;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({loop.head, 0});
+
+  while (!stack.empty() && out.size() < kMaxCycles) {
+    Frame& f = stack.back();
+    const auto& outs = g.nodes()[f.node].out;
+    if (f.next_edge >= outs.size() || path.size() >= kMaxCycleLen) {
+      if (stack.size() > 1) {
+        visited.erase(f.node);
+        path.pop_back();
+      }
+      stack.pop_back();
+      continue;
+    }
+    const EdgeId eid = outs[f.next_edge++];
+    const InlinedEdge& e = g.edges()[eid];
+    if (e.to == kNoNode || body.count(e.to) == 0) {
+      continue;
+    }
+    if (e.to == loop.head) {
+      path.push_back(eid);
+      out.push_back(path);
+      path.pop_back();
+      continue;
+    }
+    if (visited.count(e.to) != 0) {
+      continue;
+    }
+    visited.insert(e.to);
+    path.push_back(eid);
+    stack.push_back({e.to, 0});
+  }
+}
+
+// Whether traversing |eid| out of a semantically-conditional block is
+// permitted when the guard condition evaluates to |cond_true|.
+bool EdgeAllowed(const InlinedGraph& g, const Block& b, EdgeId eid, bool cond_true) {
+  const InlinedEdge& e = g.edges()[eid];
+  if (e.kind == InlinedEdge::Kind::kTaken) {
+    return cond_true;  // both one- and two-sided: taken requires true
+  }
+  // Fall-through: one-sided guards may exit at any time; two-sided guards
+  // fall through only when false.
+  return b.cond.one_sided || !cond_true;
+}
+
+bool EvalCond(const BranchCond& c, std::int64_t v) {
+  const std::int64_t rhs = c.rhs_imm;  // analysis tracks a single register
+  switch (c.cmp) {
+    case BranchCond::Cmp::kGe:
+      return v >= rhs;
+    case BranchCond::Cmp::kLt:
+      return v < rhs;
+    case BranchCond::Cmp::kEq:
+      return v == rhs;
+    case BranchCond::Cmp::kNe:
+      return v != rhs;
+    case BranchCond::Cmp::kNone:
+      break;
+  }
+  return false;
+}
+
+// Simulates repeating |cycle| starting with reg=init; returns the number of
+// head executions before the cycle becomes inconsistent with the guard, or
+// nullopt if it exceeds the cap (unbounded as far as the search can tell).
+std::optional<std::uint32_t> SimulateCycle(const InlinedGraph& g, const InlinedLoop& loop,
+                                           std::uint8_t reg, std::int64_t init,
+                                           const std::vector<EdgeId>& cycle) {
+  const std::uint32_t inst = g.nodes()[loop.head].instance;
+  std::int64_t v = init;
+  std::uint32_t count = 0;
+  NodeId cur = loop.head;
+  while (count < kMaxIterations) {
+    count++;  // the head (and cycle) executes
+    bool exited = false;
+    for (EdgeId eid : cycle) {
+      const InlinedEdge& e = g.edges()[eid];
+      if (e.from != cur) {
+        return std::nullopt;  // malformed cycle: refuse to bound
+      }
+      const Block& b = g.BlockOf(e.from);
+      // Apply this block's register ops (same stack frame only).
+      if (g.nodes()[e.from].instance == inst) {
+        for (const RegOp& op : b.reg_ops) {
+          if (op.dst != reg) {
+            continue;
+          }
+          switch (op.kind) {
+            case RegOp::Kind::kConst:
+              v = op.imm;
+              break;
+            case RegOp::Kind::kAdd:
+              v += op.imm;
+              break;
+            case RegOp::Kind::kMovReg:
+              return std::nullopt;  // untracked source: give up
+          }
+        }
+        if (b.cond.HasSemantics() && b.cond.lhs == reg && b.cond.rhs_is_imm) {
+          if (!EdgeAllowed(g, b, eid, EvalCond(b.cond, v))) {
+            exited = true;
+            break;
+          }
+        }
+      }
+      cur = e.to;
+    }
+    if (exited) {
+      return count;
+    }
+    assert(cur == loop.head);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<LoopBoundResult> ComputeLoopBounds(InlinedGraph& graph) {
+  std::vector<LoopBoundResult> results;
+  results.reserve(graph.loops().size());
+  for (InlinedLoop& loop : graph.mutable_loops()) {
+    LoopBoundResult res;
+    const Block& head = graph.BlockOf(loop.head);
+
+    const auto reg = FindGuardReg(graph, loop);
+    if (reg.has_value()) {
+      const auto init = FindInitValue(graph, loop, *reg);
+      if (init.has_value()) {
+        std::vector<std::vector<EdgeId>> cycles;
+        EnumerateCycles(graph, loop, cycles);
+        std::optional<std::uint32_t> worst;
+        bool all_ok = !cycles.empty();
+        for (const auto& cyc : cycles) {
+          const auto n = SimulateCycle(graph, loop, *reg, *init, cyc);
+          if (!n.has_value()) {
+            all_ok = false;
+            break;
+          }
+          worst = worst ? std::max(*worst, *n) : *n;
+        }
+        if (all_ok && worst.has_value()) {
+          res.bound = *worst;
+          res.source = LoopBoundResult::Source::kComputed;
+        }
+      }
+    }
+    if (res.bound == 0 && head.loop_bound_annotation != 0) {
+      res.bound = head.loop_bound_annotation;
+      res.source = LoopBoundResult::Source::kAnnotation;
+    }
+    if (res.bound == 0 && head.absolute_exec_bound != 0) {
+      res.bound = head.absolute_exec_bound;
+      res.source = LoopBoundResult::Source::kAbsolute;
+    }
+    loop.bound = res.bound;
+    results.push_back(res);
+  }
+  return results;
+}
+
+}  // namespace pmk

@@ -1,0 +1,33 @@
+// Automatic loop-bound computation (paper Section 5.3).
+//
+// For each loop, the analysis slices out the register-machine operations that
+// feed the loop-controlling branch and runs a bounded search for the maximum
+// number of head executions, maximizing over the loop's declared input ranges
+// and over the possible cycle shapes through the body. Loops without register
+// semantics fall back to manual annotations — the paper's situation for loops
+// its tools could not yet bound.
+
+#ifndef SRC_WCET_LOOPBOUND_H_
+#define SRC_WCET_LOOPBOUND_H_
+
+#include "src/wcet/cfg.h"
+
+namespace pmk {
+
+struct LoopBoundResult {
+  std::uint32_t bound = 0;  // 0 = unknown
+  enum class Source : std::uint8_t {
+    kUnknown,
+    kComputed,    // slice + bounded search
+    kAnnotation,  // Block::loop_bound_annotation
+    kAbsolute,    // Block::absolute_exec_bound on the head
+  } source = Source::kUnknown;
+};
+
+// Computes (and stores into graph.mutable_loops()) bounds for every loop.
+// Returns one result per loop, aligned with graph.loops().
+std::vector<LoopBoundResult> ComputeLoopBounds(InlinedGraph& graph);
+
+}  // namespace pmk
+
+#endif  // SRC_WCET_LOOPBOUND_H_

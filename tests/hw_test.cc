@@ -1,0 +1,276 @@
+// Unit tests for the machine model: caches (associativity, replacement,
+// way-locking, pollution), branch predictor, interrupt controller/timer and
+// the cost-charging machine.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+
+namespace pmk {
+namespace {
+
+CacheConfig SmallCache(std::uint32_t ways, ReplacementPolicy pol = ReplacementPolicy::kRoundRobin) {
+  CacheConfig c;
+  c.size_bytes = 1024;
+  c.ways = ways;
+  c.line_bytes = 32;
+  c.policy = pol;
+  return c;
+}
+
+TEST(CacheTest, MissThenHit) {
+  Cache c(SmallCache(4));
+  EXPECT_FALSE(c.Access(0x1000));
+  EXPECT_TRUE(c.Access(0x1000));
+  EXPECT_TRUE(c.Access(0x101C));  // same 32-byte line
+  EXPECT_FALSE(c.Access(0x1020));  // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(CacheTest, AssociativityHoldsConflictingLines) {
+  // 1024 B, 4 ways, 32 B lines -> 8 sets; stride 8*32=256 collides.
+  Cache c(SmallCache(4));
+  for (Addr i = 0; i < 4; ++i) {
+    EXPECT_FALSE(c.Access(i * 256));
+  }
+  for (Addr i = 0; i < 4; ++i) {
+    EXPECT_TRUE(c.Access(i * 256)) << i;
+  }
+}
+
+TEST(CacheTest, RoundRobinEvictsOldest) {
+  Cache c(SmallCache(2));  // 16 sets
+  EXPECT_FALSE(c.Access(0 * 512));
+  EXPECT_FALSE(c.Access(1 * 512));
+  EXPECT_FALSE(c.Access(2 * 512));  // evicts way 0 (line 0)
+  EXPECT_FALSE(c.Access(0 * 512));  // line 0 gone
+  EXPECT_TRUE(c.Access(2 * 512));
+}
+
+TEST(CacheTest, DirectMappedAlwaysEvicts) {
+  Cache c(SmallCache(1));  // 32 sets
+  EXPECT_FALSE(c.Access(0));
+  EXPECT_FALSE(c.Access(1024));
+  EXPECT_FALSE(c.Access(0));
+}
+
+TEST(CacheTest, MostRecentLineAlwaysResident) {
+  // The paper's soundness argument for the direct-mapped approximation: the
+  // most recently accessed line in a set survives under round-robin.
+  Cache c(SmallCache(4));
+  for (int i = 0; i < 100; ++i) {
+    const Addr a = static_cast<Addr>(i % 7) * 256;
+    c.Access(a);
+    EXPECT_TRUE(c.Contains(a));
+  }
+}
+
+TEST(CacheTest, LockedWayIsNotEvicted) {
+  Cache c(SmallCache(2));
+  c.InstallLine(0x40, 0);
+  c.LockWay(0);
+  // Thrash the set with conflicting lines (stride 512 for 16 sets).
+  for (Addr i = 1; i <= 8; ++i) {
+    c.Access(0x40 + i * 512);
+  }
+  EXPECT_TRUE(c.Contains(0x40));
+}
+
+TEST(CacheTest, AllWaysLockedBypassesAllocation) {
+  Cache c(SmallCache(2));
+  c.LockWay(0);
+  c.LockWay(1);
+  EXPECT_FALSE(c.Access(0x2000));
+  EXPECT_FALSE(c.Access(0x2000));  // still not cached
+}
+
+TEST(CacheTest, PolluteEvictsEverythingUnlocked) {
+  Cache c(SmallCache(4));
+  c.Access(0x100);
+  c.Pollute(0x4000'0000);
+  EXPECT_FALSE(c.Contains(0x100));
+}
+
+TEST(CacheTest, PolluteSparesLockedWays) {
+  Cache c(SmallCache(4));
+  c.InstallLine(0x100, 0);
+  c.LockWay(0);
+  c.Pollute(0x4000'0000);
+  EXPECT_TRUE(c.Contains(0x100));
+}
+
+TEST(CacheTest, InvalidateAllClearsEvenLocked) {
+  Cache c(SmallCache(4));
+  c.InstallLine(0x100, 0);
+  c.LockWay(0);
+  c.InvalidateAll();
+  EXPECT_FALSE(c.Contains(0x100));
+}
+
+TEST(CacheTest, PseudoRandomStaysWithinUnlockedWays) {
+  Cache c(SmallCache(4, ReplacementPolicy::kPseudoRandom));
+  c.InstallLine(0x40, 0);
+  c.LockWay(0);
+  for (Addr i = 1; i <= 64; ++i) {
+    c.Access(0x40 + i * 256);
+  }
+  EXPECT_TRUE(c.Contains(0x40));
+}
+
+TEST(BranchPredictorTest, DisabledIsConstantFiveCycles) {
+  BranchPredictor bp(BranchPredictorConfig{});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bp.OnBranch(0x100, BranchKind::kConditional, i % 2 == 0), 5u);
+  }
+  EXPECT_EQ(bp.OnBranch(0x100, BranchKind::kNone, true), 0u);
+}
+
+TEST(BranchPredictorTest, EnabledLearnsBias) {
+  BranchPredictorConfig cfg;
+  cfg.enabled = true;
+  BranchPredictor bp(cfg);
+  bp.OnBranch(0x100, BranchKind::kConditional, true);  // first sight
+  bp.OnBranch(0x100, BranchKind::kConditional, true);
+  // Now strongly/weakly taken: predicted correctly.
+  const Cycles c = bp.OnBranch(0x100, BranchKind::kConditional, true);
+  EXPECT_EQ(c, cfg.correct_taken);
+  // Surprise direction: mispredict.
+  EXPECT_EQ(bp.OnBranch(0x100, BranchKind::kConditional, false), cfg.mispredict);
+}
+
+TEST(BranchPredictorTest, DisabledCostCanBeBelowMispredict) {
+  // Paper Section 5.1: disabling the predictor makes all branches a constant
+  // 5 cycles, below the 7-cycle mispredict.
+  BranchPredictorConfig cfg;
+  EXPECT_LT(cfg.disabled_cost, cfg.mispredict);
+}
+
+TEST(IrqTest, AssertPendingAcknowledge) {
+  InterruptController ic;
+  EXPECT_FALSE(ic.AnyPending());
+  ic.Assert(3, 100);
+  EXPECT_TRUE(ic.AnyPending());
+  EXPECT_EQ(ic.PendingLine().value(), 3u);
+  EXPECT_EQ(ic.Acknowledge(3), 100u);
+  EXPECT_FALSE(ic.AnyPending());
+}
+
+TEST(IrqTest, ReassertKeepsOriginalTimestamp) {
+  InterruptController ic;
+  ic.Assert(1, 100);
+  ic.Assert(1, 200);
+  EXPECT_EQ(ic.Acknowledge(1), 100u);
+}
+
+TEST(IrqTest, MaskedLineDoesNotShowPending) {
+  InterruptController ic;
+  ic.Mask(2);
+  ic.Assert(2, 50);
+  EXPECT_FALSE(ic.AnyPending());
+  ic.Unmask(2);
+  EXPECT_TRUE(ic.AnyPending());
+}
+
+TEST(IrqTest, LowestLineWins) {
+  InterruptController ic;
+  ic.Assert(5, 10);
+  ic.Assert(2, 20);
+  EXPECT_EQ(ic.PendingLine().value(), 2u);
+}
+
+TEST(IrqTest, TimerFiresEveryPeriod) {
+  InterruptController ic;
+  IntervalTimer t(&ic, 1000);
+  t.Restart(0);
+  t.Tick(500);
+  EXPECT_FALSE(ic.IsPending(InterruptController::kTimerLine));
+  t.Tick(1000);
+  EXPECT_TRUE(ic.IsPending(InterruptController::kTimerLine));
+  EXPECT_EQ(ic.Acknowledge(InterruptController::kTimerLine), 1000u);
+  t.Tick(3000);
+  EXPECT_EQ(ic.Acknowledge(InterruptController::kTimerLine), 2000u);
+}
+
+TEST(MachineTest, InstrFetchChargesBasePlusMisses) {
+  MachineConfig mc;
+  Machine m(mc);
+  // 8 instructions = 32 bytes = 1 line, cold: 8 + 60.
+  m.InstrFetch(0x1000, 8);
+  EXPECT_EQ(m.Now(), 8u + 60u);
+  // Again: all hits.
+  m.InstrFetch(0x1000, 8);
+  EXPECT_EQ(m.Now(), 2 * 8u + 60u);
+}
+
+TEST(MachineTest, L2HitCostsLess) {
+  MachineConfig mc;
+  mc.l2_enabled = true;
+  Machine m(mc);
+  m.DataAccess(0x2000, false);  // L1 miss, L2 miss: 96 + 2-cycle load stall
+  EXPECT_EQ(m.Now(), 96u + 2u);
+  m.l1d().InvalidateAll();      // drop only L1
+  m.DataAccess(0x2000, false);  // L1 miss, L2 hit: 26 + stall
+  EXPECT_EQ(m.Now(), 96u + 26u + 4u);
+}
+
+TEST(MachineTest, L2DisabledUsesFasterMemory) {
+  // Paper Section 5.1: 60 cycles with L2 off vs 96 with L2 on.
+  Machine off{MachineConfig{}};
+  off.DataAccess(0x2000, false);
+  EXPECT_EQ(off.Now(), 60u + 2u);  // + load-use stall
+  MachineConfig mc;
+  mc.l2_enabled = true;
+  Machine on{mc};
+  on.DataAccess(0x2000, false);
+  EXPECT_EQ(on.Now(), 96u + 2u);
+}
+
+TEST(MachineTest, DataAccessHitCostsOnlyTheLoadStall) {
+  Machine m{MachineConfig{}};
+  m.DataAccess(0x3000, false);                 // cold: 60 + 2
+  const Cycles after_miss = m.Now();
+  m.DataAccess(0x3000, false);                 // hit: just the 2-cycle stall
+  EXPECT_EQ(m.Now() - after_miss, 2u);
+}
+
+TEST(MachineTest, PinL1MakesLinesFree) {
+  MachineConfig mc;
+  Machine m(mc);
+  const Addr line = 0x3000;
+  const Addr lines[] = {line};
+  m.PinL1(lines, lines, 1);
+  m.PolluteCaches();
+  m.InstrFetch(line, 4);
+  EXPECT_EQ(m.Now(), 4u);  // no miss penalty
+  m.DataAccess(line, false);
+  EXPECT_EQ(m.Now(), 4u + 2u);  // only the pipeline load stall remains
+}
+
+TEST(MachineTest, TimerTicksDuringExecution) {
+  MachineConfig mc;
+  mc.timer_period = 100;
+  Machine m(mc);
+  m.timer().Restart(0);
+  m.RawCycles(250);
+  EXPECT_TRUE(m.irq().IsPending(InterruptController::kTimerLine));
+  EXPECT_EQ(m.irq().AssertTime(InterruptController::kTimerLine), 100u);
+}
+
+TEST(MachineTest, BranchCostsDependOnPredictorConfig) {
+  Machine m{MachineConfig{}};
+  m.Branch(0x100, BranchKind::kConditional, true);
+  EXPECT_EQ(m.Now(), 5u);
+  m.Branch(0x100, BranchKind::kNone, false);
+  EXPECT_EQ(m.Now(), 5u);
+}
+
+TEST(ClockTest, MicrosecondsAt532MHz) {
+  ClockSpec clk;
+  EXPECT_NEAR(clk.ToMicros(532), 1.0, 1e-9);
+  EXPECT_NEAR(clk.ToMicros(189'117), 355.5, 0.1);  // the paper's bound
+}
+
+}  // namespace
+}  // namespace pmk

@@ -1,0 +1,284 @@
+// Unit tests for the kernel IR: program layout validation and — crucially —
+// the executor's enforcement that dynamic execution matches the declared CFG
+// (edges, calls/returns, dynamic-access budgets, register-machine guards).
+
+#include <gtest/gtest.h>
+
+#include "src/kir/executor.h"
+
+namespace pmk {
+namespace {
+
+// A tiny two-function program:
+//   main: entry -> loop(self, guard r0>=1) -> callb(calls leaf) -> exit(ret)
+//   leaf: body(ret)
+struct TestProgram {
+  Program prog;
+  FuncId main = kNoFunc;
+  FuncId leaf = kNoFunc;
+  BlockId entry = kNoBlock;
+  BlockId loop = kNoBlock;
+  BlockId callb = kNoBlock;
+  BlockId exit = kNoBlock;
+  BlockId leaf_body = kNoBlock;
+
+  TestProgram() {
+    main = prog.AddFunction("main");
+    leaf = prog.AddFunction("leaf");
+    {
+      Block b;
+      b.name = "main.entry";
+      b.instr_count = 4;
+      b.reg_ops.push_back({RegOp::Kind::kConst, 0, 0, 3});
+      entry = prog.AddBlock(main, b);
+    }
+    {
+      Block b;
+      b.name = "main.loop";
+      b.instr_count = 2;
+      b.max_dynamic_accesses = 1;
+      b.reg_ops.push_back({RegOp::Kind::kAdd, 0, 0, -1});
+      b.cond.cmp = BranchCond::Cmp::kGe;
+      b.cond.lhs = 0;
+      b.cond.rhs_imm = 1;
+      loop = prog.AddBlock(main, b);
+    }
+    {
+      Block b;
+      b.name = "main.call";
+      b.instr_count = 2;
+      b.callee = leaf;
+      callb = prog.AddBlock(main, b);
+    }
+    {
+      Block b;
+      b.name = "main.exit";
+      b.instr_count = 3;
+      b.is_return = true;
+      exit = prog.AddBlock(main, b);
+    }
+    {
+      Block b;
+      b.name = "leaf.body";
+      b.instr_count = 5;
+      b.is_return = true;
+      leaf_body = prog.AddBlock(leaf, b);
+    }
+    prog.AddEdge(entry, loop);
+    prog.AddEdge(loop, callb);  // fall: exit loop
+    prog.AddEdge(loop, loop);   // taken: continue
+    prog.AddEdge(callb, exit);
+    prog.Layout();
+  }
+};
+
+TEST(ProgramTest, LayoutAssignsMonotonicAddresses) {
+  TestProgram t;
+  EXPECT_EQ(t.prog.block(t.entry).address, Program::kTextBase);
+  EXPECT_GT(t.prog.block(t.loop).address, t.prog.block(t.entry).address);
+  EXPECT_GT(t.prog.text_bytes(), 0u);
+}
+
+TEST(ProgramTest, FrameAddressesReflectCallDepth) {
+  TestProgram t;
+  // leaf is called by main, so its frame sits below main's.
+  EXPECT_LT(t.prog.function(t.leaf).frame_addr, t.prog.function(t.main).frame_addr);
+}
+
+TEST(ProgramTest, RejectsReturnBlockWithSuccessors) {
+  Program p;
+  const FuncId f = p.AddFunction("f");
+  Block a;
+  a.name = "a";
+  a.is_return = true;
+  const BlockId ba = p.AddBlock(f, a);
+  Block b;
+  b.name = "b";
+  b.is_return = true;
+  const BlockId bb = p.AddBlock(f, b);
+  p.AddEdge(ba, bb);
+  EXPECT_THROW(p.Layout(), std::logic_error);
+}
+
+TEST(ProgramTest, RejectsDanglingBlock) {
+  Program p;
+  const FuncId f = p.AddFunction("f");
+  Block a;
+  a.name = "a";
+  p.AddBlock(f, a);  // no successors, not a return
+  EXPECT_THROW(p.Layout(), std::logic_error);
+}
+
+TEST(ProgramTest, RejectsRecursion) {
+  Program p;
+  const FuncId f = p.AddFunction("f");
+  Block a;
+  a.name = "a";
+  a.callee = f;  // self-call
+  const BlockId ba = p.AddBlock(f, a);
+  Block r;
+  r.name = "r";
+  r.is_return = true;
+  const BlockId br = p.AddBlock(f, r);
+  p.AddEdge(ba, br);
+  EXPECT_THROW(p.Layout(), std::logic_error);
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  TestProgram t;
+  MachineConfig mc;
+  Machine m{mc};
+  Executor ex{&t.prog, &m};
+};
+
+TEST_F(ExecutorTest, StraightPathRuns) {
+  ex.Begin(t.main);
+  ex.At(t.entry);  // r0 = 3: the two-sided guard demands 3 iterations
+  ex.At(t.loop);
+  ex.Touch(0x5000);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.callb);
+  ex.At(t.leaf_body);
+  ex.At(t.exit);
+  ex.End();
+  EXPECT_GT(m.Now(), 0u);
+}
+
+TEST_F(ExecutorTest, LoopIterationsFollowGuard) {
+  ex.Begin(t.main);
+  ex.At(t.entry);  // r0 = 3
+  for (int i = 0; i < 3; ++i) {
+    ex.At(t.loop);
+  }
+  ex.At(t.callb);
+  ex.At(t.leaf_body);
+  ex.At(t.exit);
+  ex.End();
+}
+
+TEST_F(ExecutorTest, GuardViolationDetected) {
+  ex.Begin(t.main);
+  ex.At(t.entry);  // r0 = 3
+  ex.At(t.loop);   // r0=2
+  ex.At(t.loop);   // r0=1
+  ex.At(t.loop);   // r0=0: two-sided guard forbids continuing
+  EXPECT_THROW(ex.At(t.loop), ExecError);
+}
+
+TEST_F(ExecutorTest, TwoSidedGuardForbidsEarlyExit) {
+  ex.Begin(t.main);
+  ex.At(t.entry);  // r0 = 3
+  ex.At(t.loop);   // r0 = 2: must loop again
+  EXPECT_THROW(ex.At(t.callb), ExecError);
+}
+
+TEST_F(ExecutorTest, UndeclaredEdgeRejected) {
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  EXPECT_THROW(ex.At(t.exit), ExecError);  // entry -> exit not in CFG
+}
+
+TEST_F(ExecutorTest, WrongEntryBlockRejected) {
+  ex.Begin(t.main);
+  EXPECT_THROW(ex.At(t.loop), ExecError);
+}
+
+TEST_F(ExecutorTest, DynamicAccessBudgetEnforced) {
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  ex.At(t.loop);
+  ex.Touch(0x5000);
+  ex.Touch(0x5040);  // budget is 1; checked when leaving the block
+  EXPECT_THROW(ex.At(t.loop), ExecError);
+}
+
+TEST_F(ExecutorTest, TouchOutsideBlockRejected) {
+  EXPECT_THROW(ex.Touch(0x1234), ExecError);
+}
+
+TEST_F(ExecutorTest, CallMustEnterCalleeEntry) {
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.callb);
+  EXPECT_THROW(ex.At(t.exit), ExecError);  // must visit leaf first
+}
+
+TEST_F(ExecutorTest, ReturnMustResumeAtCallSiteSuccessor) {
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.callb);
+  ex.At(t.leaf_body);
+  EXPECT_THROW(ex.At(t.loop), ExecError);  // resume block is exit
+}
+
+TEST_F(ExecutorTest, EndRequiresReturnBlock) {
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  EXPECT_THROW(ex.End(), ExecError);
+}
+
+TEST_F(ExecutorTest, EndRequiresEmptyCallStack) {
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.callb);
+  ex.At(t.leaf_body);  // inside leaf: return block, but stack non-empty
+  EXPECT_THROW(ex.End(), ExecError);
+}
+
+TEST_F(ExecutorTest, RegistersSavedAcrossCalls) {
+  // r0 is decremented in main's loop; the callee must not clobber it from
+  // main's point of view (callee-saved semantics).
+  ex.Begin(t.main);
+  ex.At(t.entry);  // r0 = 3
+  ex.At(t.loop);   // r0 = 2
+  ex.At(t.loop);   // r0 = 1
+  ex.At(t.loop);   // r0 = 0, exit
+  ex.At(t.callb);
+  ex.At(t.leaf_body);
+  ex.At(t.exit);
+  ex.End();  // would have thrown had the guard value been corrupted
+}
+
+TEST_F(ExecutorTest, TraceRecordsBlockSequence) {
+  ex.StartRecording();
+  ex.Begin(t.main);
+  ex.At(t.entry);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.loop);
+  ex.At(t.callb);
+  ex.At(t.leaf_body);
+  ex.At(t.exit);
+  ex.End();
+  const Trace tr = ex.StopRecording();
+  ASSERT_EQ(tr.blocks.size(), 7u);
+  EXPECT_EQ(tr.blocks.front(), t.entry);
+  EXPECT_EQ(tr.blocks.back(), t.exit);
+  EXPECT_GT(tr.Duration(), 0u);
+}
+
+TEST_F(ExecutorTest, SetRegValidatesLoopInputRange) {
+  // Declare a loop input on the loop head, then inject an out-of-range value.
+  TestProgram t2;
+  t2.prog.mutable_block(t2.loop).loop_inputs.push_back({0, 0, 10});
+  Machine m2{MachineConfig{}};
+  Executor ex2(&t2.prog, &m2);
+  ex2.Begin(t2.main);
+  ex2.At(t2.entry);
+  EXPECT_THROW(ex2.SetReg(0, 11), ExecError);
+  ex2.SetReg(0, 10);  // in range
+}
+
+}  // namespace
+}  // namespace pmk

@@ -1,0 +1,192 @@
+// Unit tests for the mapping database (capability derivation tree) and the
+// object table's alignment/overlap invariants.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/cap.h"
+#include "src/sim/workload.h"
+
+namespace pmk {
+namespace {
+
+CapSlot MakeSlot(Addr obj, std::uint64_t badge = 0) {
+  CapSlot s;
+  s.cap.type = ObjType::kEndpoint;
+  s.cap.obj = obj;
+  s.cap.badge = badge;
+  return s;
+}
+
+TEST(MdbTest, InsertChildLinksAndDeepens) {
+  CapSlot parent = MakeSlot(0x1000);
+  CapSlot child = MakeSlot(0x1000, 5);
+  Mdb::InsertChild(&parent, &child);
+  EXPECT_EQ(parent.mdb_next, &child);
+  EXPECT_EQ(child.mdb_prev, &parent);
+  EXPECT_EQ(child.mdb_depth, parent.mdb_depth + 1);
+  EXPECT_TRUE(Mdb::HasChildren(&parent));
+  EXPECT_EQ(Mdb::FirstDescendant(&parent), &child);
+}
+
+TEST(MdbTest, SameObjectCapsStayContiguous) {
+  CapSlot a = MakeSlot(0x1000);
+  CapSlot b = MakeSlot(0x1000);
+  CapSlot c = MakeSlot(0x1000);
+  Mdb::InsertChild(&a, &b);
+  Mdb::InsertChild(&a, &c);  // inserted between a and b
+  EXPECT_EQ(a.mdb_next, &c);
+  EXPECT_EQ(c.mdb_next, &b);
+  EXPECT_FALSE(Mdb::IsFinal(&a));
+  EXPECT_FALSE(Mdb::IsFinal(&b));
+  EXPECT_FALSE(Mdb::IsFinal(&c));
+}
+
+TEST(MdbTest, FinalityDetectsLastCap) {
+  CapSlot a = MakeSlot(0x1000);
+  CapSlot b = MakeSlot(0x1000);
+  Mdb::InsertChild(&a, &b);
+  Mdb::Remove(&b);
+  EXPECT_TRUE(Mdb::IsFinal(&a));
+  EXPECT_TRUE(b.IsNull());
+  EXPECT_EQ(b.mdb_prev, nullptr);
+  EXPECT_EQ(b.mdb_next, nullptr);
+}
+
+TEST(MdbTest, DistinctObjectsAreEachFinal) {
+  CapSlot a = MakeSlot(0x1000);
+  CapSlot b = MakeSlot(0x2000);
+  Mdb::InsertSibling(&a, &b);
+  EXPECT_TRUE(Mdb::IsFinal(&a));
+  EXPECT_TRUE(Mdb::IsFinal(&b));
+}
+
+TEST(MdbTest, RemoveMiddleRelinksNeighbours) {
+  CapSlot a = MakeSlot(0x1000);
+  CapSlot b = MakeSlot(0x1000);
+  CapSlot c = MakeSlot(0x1000, 9);
+  Mdb::InsertChild(&a, &b);
+  Mdb::InsertChild(&b, &c);
+  Mdb::Remove(&b);  // c reparents to a implicitly
+  EXPECT_EQ(a.mdb_next, &c);
+  EXPECT_EQ(c.mdb_prev, &a);
+  EXPECT_TRUE(Mdb::WellFormedAt(&a));
+  EXPECT_TRUE(Mdb::WellFormedAt(&c));
+}
+
+TEST(MdbTest, DescendantEnumerationStopsAtDepth) {
+  CapSlot root = MakeSlot(0x1000);
+  CapSlot child1 = MakeSlot(0x1000, 1);
+  CapSlot grand = MakeSlot(0x1000, 2);
+  CapSlot sibling = MakeSlot(0x3000);
+  Mdb::InsertSibling(&root, &sibling);  // not a descendant
+  Mdb::InsertChild(&root, &child1);
+  Mdb::InsertChild(&child1, &grand);
+  std::size_t count = 0;
+  for (CapSlot* d = Mdb::FirstDescendant(&root); d != nullptr;
+       d = Mdb::NextDescendant(&root, d)) {
+    count++;
+  }
+  EXPECT_EQ(count, 2u);  // child1 + grand, not sibling
+}
+
+TEST(MdbTest, WellFormedDetectsBrokenBackPointer) {
+  CapSlot a = MakeSlot(0x1000);
+  CapSlot b = MakeSlot(0x1000);
+  Mdb::InsertChild(&a, &b);
+  b.mdb_prev = nullptr;  // corrupt
+  EXPECT_FALSE(Mdb::WellFormedAt(&a));
+}
+
+TEST(ObjectTableTest, RejectsMisalignedObject) {
+  ObjectTable t;
+  auto o = std::make_unique<EndpointObj>();
+  o->type = ObjType::kEndpoint;
+  o->size_bits = 4;
+  o->base = 0x1008;  // not 16-aligned
+  EXPECT_THROW(t.Insert(std::move(o)), std::logic_error);
+}
+
+TEST(ObjectTableTest, RejectsOverlap) {
+  ObjectTable t;
+  auto a = std::make_unique<TcbObj>();
+  a->type = ObjType::kTcb;
+  a->size_bits = 9;
+  a->base = 0x1000;
+  t.Insert(std::move(a));
+  auto b = std::make_unique<EndpointObj>();
+  b->type = ObjType::kEndpoint;
+  b->size_bits = 4;
+  b->base = 0x1100;  // inside the TCB
+  EXPECT_THROW(t.Insert(std::move(b)), std::logic_error);
+}
+
+TEST(ObjectTableTest, UntypedMayContainItsChildren) {
+  ObjectTable t;
+  auto ut = std::make_unique<UntypedObj>();
+  ut->type = ObjType::kUntyped;
+  ut->size_bits = 12;
+  ut->base = 0x2000;
+  ut->watermark = 0x2000;
+  t.Insert(std::move(ut));
+  auto child = std::make_unique<EndpointObj>();
+  child->type = ObjType::kEndpoint;
+  child->size_bits = 4;
+  child->base = 0x2000;  // same base as the untyped: legal
+  EXPECT_NO_THROW(t.Insert(std::move(child)));
+  EXPECT_NE(t.Get<UntypedObj>(0x2000), nullptr);
+  EXPECT_NE(t.Get<EndpointObj>(0x2000), nullptr);
+}
+
+TEST(ObjectTableTest, RemoveDistinguishesUntypedFromChild) {
+  ObjectTable t;
+  auto ut = std::make_unique<UntypedObj>();
+  ut->type = ObjType::kUntyped;
+  ut->size_bits = 12;
+  ut->base = 0x2000;
+  t.Insert(std::move(ut));
+  auto child = std::make_unique<EndpointObj>();
+  child->type = ObjType::kEndpoint;
+  child->size_bits = 4;
+  child->base = 0x2000;
+  t.Insert(std::move(child));
+  t.Remove(0x2000);  // removes the non-untyped object first
+  EXPECT_EQ(t.Get<EndpointObj>(0x2000), nullptr);
+  EXPECT_NE(t.Get<UntypedObj>(0x2000), nullptr);
+}
+
+TEST(UntypedRevokeTest, RevokeResetsWatermark) {
+  System sys(KernelConfig::After(), EvalMachine(false));
+  TcbObj* t = sys.AddThread(10);
+  UntypedObj* ut = nullptr;
+  const std::uint32_t ut_cptr = sys.AddUntyped(14, &ut);
+  sys.kernel().DirectSetCurrent(t);
+
+  SyscallArgs mk;
+  mk.label = InvLabel::kUntypedRetype;
+  mk.obj_type = ObjType::kEndpoint;
+  mk.dest_index = 70;
+  sys.kernel().Syscall(SysOp::kCall, ut_cptr, mk);
+  ASSERT_EQ(t->last_error, KError::kOk);
+  ASSERT_GT(ut->watermark, ut->base);
+
+  Cap root_cap;
+  root_cap.type = ObjType::kCNode;
+  root_cap.obj = sys.root()->base;
+  const std::uint32_t root_cptr = sys.AddCap(root_cap);
+  SyscallArgs revoke;
+  revoke.label = InvLabel::kCNodeRevoke;
+  revoke.arg0 = ut_cptr & 0xFF;
+  sys.kernel().Syscall(SysOp::kCall, root_cptr, revoke);
+  EXPECT_EQ(ut->watermark, ut->base);  // memory reclaimed
+  EXPECT_TRUE(sys.root()->slots[70].IsNull());
+
+  // The region is reusable.
+  mk.dest_index = 71;
+  sys.kernel().Syscall(SysOp::kCall, ut_cptr, mk);
+  EXPECT_EQ(t->last_error, KError::kOk);
+  EXPECT_FALSE(sys.root()->slots[71].IsNull());
+  sys.kernel().CheckInvariants();
+}
+
+}  // namespace
+}  // namespace pmk

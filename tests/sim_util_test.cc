@@ -1,0 +1,131 @@
+// Tests for the simulation utilities: table/bar formatting, scenario
+// builders and the measurement helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/latency.h"
+#include "src/sim/report.h"
+#include "src/sim/workload.h"
+
+namespace pmk {
+namespace {
+
+TEST(ReportTest, Formatters) {
+  EXPECT_EQ(Table::Us(123.456), "123.5");
+  EXPECT_EQ(Table::Cyc(98765), "98765");
+  EXPECT_EQ(Table::Ratio(3.256), "3.26");
+  EXPECT_EQ(Table::Pct(0.459), "46%");
+}
+
+TEST(ReportTest, BarScalesAndClamps) {
+  EXPECT_EQ(Bar(50, 100, 10), "#####");
+  EXPECT_EQ(Bar(100, 100, 10), "##########");
+  EXPECT_EQ(Bar(1000, 100, 10), "##########");  // clamped
+  EXPECT_EQ(Bar(0, 100, 10), "");
+  EXPECT_EQ(Bar(5, 0, 10), "");  // zero max: no bar
+}
+
+TEST(WorkloadTest, RootCNodeIsFastpathShaped) {
+  System sys(KernelConfig::After(), EvalMachine(false));
+  EXPECT_EQ(sys.root()->guard_bits + sys.root()->radix_bits, 32u);
+}
+
+TEST(WorkloadTest, AddCapSkipsOccupiedSlots) {
+  System sys(KernelConfig::After(), EvalMachine(false));
+  EndpointObj* ep = nullptr;
+  const std::uint32_t a = sys.AddEndpoint(&ep);
+  const std::uint32_t b = sys.AddEndpoint(&ep);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(sys.SlotOf(a)->IsNull());
+  EXPECT_FALSE(sys.SlotOf(b)->IsNull());
+}
+
+TEST(WorkloadTest, DeepCapSpaceDecodesAtEveryDepth) {
+  for (const std::uint32_t levels : {1u, 2u, 7u, 16u, 31u, 32u}) {
+    System sys(KernelConfig::After(), EvalMachine(false));
+    EndpointObj* ep = nullptr;
+    sys.AddEndpoint(&ep);
+    TcbObj* recv = sys.AddThread(10);
+    TcbObj* send = sys.AddThread(10);
+    sys.kernel().DirectBlockOnRecv(recv, ep);
+    Cap target;
+    target.type = ObjType::kEndpoint;
+    target.obj = ep->base;
+    const std::uint32_t cptr = sys.BuildDeepCapSpace(send, target, levels);
+    sys.kernel().DirectSetCurrent(send);
+    SyscallArgs args;
+    sys.kernel().Syscall(SysOp::kSend, cptr, args);
+    EXPECT_EQ(send->last_error, KError::kOk) << levels;
+    EXPECT_EQ(recv->state, ThreadState::kRunning) << levels;
+  }
+}
+
+TEST(WorkloadTest, DeepCapSpaceRejectsBadDepth) {
+  System sys(KernelConfig::After(), EvalMachine(false));
+  TcbObj* t = sys.AddThread(10);
+  Cap c;
+  c.type = ObjType::kEndpoint;
+  c.obj = 0;
+  EXPECT_THROW(sys.BuildDeepCapSpace(t, c, 0), std::logic_error);
+  EXPECT_THROW(sys.BuildDeepCapSpace(t, c, 33), std::logic_error);
+}
+
+TEST(WorkloadTest, QueueSendersCyclesBadges) {
+  System sys(KernelConfig::After(), EvalMachine(false));
+  EndpointObj* ep = nullptr;
+  sys.AddEndpoint(&ep);
+  auto senders = sys.QueueSenders(ep, 6, {10, 20, 30});
+  ASSERT_EQ(ep->q_len, 6u);
+  EXPECT_EQ(senders[0]->blocked_badge, 10u);
+  EXPECT_EQ(senders[1]->blocked_badge, 20u);
+  EXPECT_EQ(senders[2]->blocked_badge, 30u);
+  EXPECT_EQ(senders[3]->blocked_badge, 10u);
+  sys.kernel().CheckInvariants();
+}
+
+TEST(MeasureTest, PollutionMakesRunsSlower) {
+  System sys(KernelConfig::After(), EvalMachine(false));
+  EndpointObj* ep = nullptr;
+  const std::uint32_t cptr = sys.AddEndpoint(&ep);
+  TcbObj* recv = sys.AddThread(60);
+  TcbObj* send = sys.AddThread(10);
+  sys.kernel().DirectBlockOnRecv(recv, ep);
+  sys.kernel().DirectSetCurrent(send);
+  SyscallArgs args;
+  args.msg_len = 6;
+  // Warm run.
+  sys.kernel().Syscall(SysOp::kCall, cptr, args);
+  sys.kernel().Syscall(SysOp::kReplyRecv, cptr, SyscallArgs{});
+  const Cycles t0 = sys.machine().Now();
+  sys.kernel().Syscall(SysOp::kCall, cptr, args);
+  const Cycles warm = sys.machine().Now() - t0;
+  sys.kernel().Syscall(SysOp::kReplyRecv, cptr, SyscallArgs{});
+  // Polluted run.
+  sys.machine().PolluteCaches();
+  const Cycles t1 = sys.machine().Now();
+  sys.kernel().Syscall(SysOp::kCall, cptr, args);
+  const Cycles cold = sys.machine().Now() - t1;
+  EXPECT_GT(cold, warm * 2);
+}
+
+TEST(MeasureTest, RunLongOpDeliversTrailingIrq) {
+  // An interrupt arriving during a NON-preemptible stretch is delivered at
+  // kernel exit and its (long) latency recorded.
+  KernelConfig kc = KernelConfig::After();
+  kc.preemptible_clearing = false;
+  System sys(kc, EvalMachine(false));
+  TcbObj* t = sys.AddThread(10);
+  const std::uint32_t ut_cptr = sys.AddUntyped(19);
+  sys.kernel().DirectSetCurrent(t);
+  SyscallArgs args;
+  args.label = InvLabel::kUntypedRetype;
+  args.obj_type = ObjType::kFrame;
+  args.obj_bits = 18;
+  args.dest_index = 70;
+  const LongOpResult res = RunLongOpWithTimer(sys, SysOp::kCall, ut_cptr, args, 8'000);
+  EXPECT_EQ(res.preemptions, 0u);
+  EXPECT_GT(res.max_irq_latency, 100'000u);  // the whole blackout
+}
+
+}  // namespace
+}  // namespace pmk

@@ -1,0 +1,232 @@
+// Soundness property tests: every observed execution on the full machine
+// model must be bounded by the conservative analysis — for random workloads,
+// both kernels, both L2 settings, and with cache pinning. This is the
+// "Computed results are a safe upper bound" claim of Table 2.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/sim/latency.h"
+#include "src/wcet/analysis.h"
+
+namespace pmk {
+namespace {
+
+struct Variant {
+  bool after;
+  bool l2;
+  bool pin;
+};
+
+class SoundnessTest : public ::testing::TestWithParam<Variant> {};
+
+std::string VariantName(const ::testing::TestParamInfo<Variant>& info) {
+  std::string s = info.param.after ? "After" : "Before";
+  s += info.param.l2 ? "L2on" : "L2off";
+  s += info.param.pin ? "Pinned" : "";
+  return s;
+}
+
+TEST_P(SoundnessTest, ObservedNeverExceedsComputed) {
+  const Variant v = GetParam();
+  const KernelConfig kc = v.after ? KernelConfig::After() : KernelConfig::Before();
+  MachineConfig mc = EvalMachine(v.l2);
+
+  AnalysisOptions ao;
+  ao.l2_enabled = v.l2;
+  ao.cache_pinning = v.pin;
+
+  System sys(kc, mc);
+  if (v.pin) {
+    sys.kernel().ApplyCachePinning();
+  }
+  WcetAnalyzer analyzer(sys.kernel().image(), ao);
+  const Cycles sys_wcet = analyzer.Analyze(EntryPoint::kSyscall).wcet;
+  const Cycles irq_wcet = analyzer.Analyze(EntryPoint::kInterrupt).wcet;
+  const Cycles fault_wcet = analyzer.Analyze(EntryPoint::kPageFault).wcet;
+
+  // Scenario 1: the worst-case IPC (Section 6.1).
+  {
+    auto w = sys.BuildWorstCaseIpc();
+    sys.machine().PolluteCaches();
+    const Cycles t0 = sys.machine().Now();
+    ASSERT_EQ(sys.kernel().Syscall(SysOp::kCall, w.ep_cptr, w.args), KernelExit::kDone);
+    const Cycles obs = sys.machine().Now() - t0;
+    EXPECT_LE(obs, sys_wcet) << "worst-case IPC";
+  }
+
+  // Scenario 2: interrupt delivery into a bound endpoint.
+  {
+    EndpointObj* ep = nullptr;
+    sys.AddEndpoint(&ep);
+    TcbObj* h = sys.AddThread(200);
+    sys.kernel().DirectBlockOnRecv(h, ep);
+    sys.kernel().DirectBindIrq(1, ep);
+    sys.machine().PolluteCaches();
+    sys.machine().irq().Assert(1, sys.machine().Now());
+    const Cycles t0 = sys.machine().Now();
+    sys.kernel().HandleIrqEntry();
+    EXPECT_LE(sys.machine().Now() - t0, irq_wcet) << "interrupt delivery";
+  }
+
+  // Scenario 3: page fault to a deep-cspace handler endpoint.
+  {
+    EndpointObj* ep = nullptr;
+    sys.AddEndpoint(&ep);
+    TcbObj* pager = sys.AddThread(150);
+    sys.kernel().DirectBlockOnRecv(pager, ep);
+    TcbObj* task = sys.AddThread(10);
+    Cap ep_cap;
+    ep_cap.type = ObjType::kEndpoint;
+    ep_cap.obj = ep->base;
+    task->fault_handler_cptr = sys.BuildDeepCapSpace(task, ep_cap, 32);
+    // Decoding the fault handler happens in the faulter's own (deep) cspace.
+    sys.kernel().DirectSetCurrent(task);
+    sys.machine().PolluteCaches();
+    const Cycles t0 = sys.machine().Now();
+    sys.kernel().RaisePageFault();
+    EXPECT_LE(sys.machine().Now() - t0, fault_wcet) << "page fault";
+  }
+
+  // Scenario 4: randomized syscall storm — every entry bounded.
+  {
+    System storm(kc, mc);
+    if (v.pin) {
+      storm.kernel().ApplyCachePinning();
+    }
+    EndpointObj* ep = nullptr;
+    const std::uint32_t ep_cptr = storm.AddEndpoint(&ep);
+    const std::uint32_t ut_cptr = storm.AddUntyped(20);
+    std::vector<TcbObj*> threads;
+    for (int i = 0; i < 6; ++i) {
+      TcbObj* t = storm.AddThread(static_cast<std::uint8_t>(10 + i * 17));
+      storm.kernel().DirectResume(t);
+      threads.push_back(t);
+    }
+    storm.kernel().DirectSetCurrent(threads[0]);
+    std::mt19937 rng(987 + (v.after ? 1 : 0) + (v.l2 ? 2 : 0));
+    std::uint32_t dest = 60;
+    for (int step = 0; step < 120; ++step) {
+      SyscallArgs args;
+      storm.machine().PolluteCaches();
+      const Cycles t0 = storm.machine().Now();
+      switch (rng() % 4) {
+        case 0:
+          args.msg_len = rng() % 9;
+          storm.kernel().Syscall(SysOp::kSend, ep_cptr, args);
+          break;
+        case 1:
+          storm.kernel().Syscall(SysOp::kRecv, ep_cptr, args);
+          break;
+        case 2:
+          storm.kernel().Syscall(SysOp::kYield, 0, args);
+          break;
+        case 3:
+          args.label = InvLabel::kUntypedRetype;
+          args.obj_type = ObjType::kEndpoint;
+          args.dest_index = dest++;
+          storm.kernel().Syscall(SysOp::kCall, ut_cptr, args);
+          break;
+      }
+      const Cycles obs = storm.machine().Now() - t0;
+      ASSERT_LE(obs, sys_wcet) << "storm step " << step;
+      if (storm.kernel().current() == storm.kernel().idle()) {
+        for (TcbObj* t : threads) {
+          if (t->blocked_on == 0 && t->state == ThreadState::kRunning) {
+            storm.kernel().DirectSetCurrent(t);
+            break;
+          }
+        }
+        if (storm.kernel().current() == storm.kernel().idle()) {
+          break;  // everything blocked; scenario exhausted
+        }
+      }
+      if (dest > 250) {
+        dest = 60;
+        break;  // root CNode nearly full
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, SoundnessTest,
+                         ::testing::Values(Variant{true, false, false},
+                                           Variant{true, true, false},
+                                           Variant{true, false, true},
+                                           Variant{false, false, false},
+                                           Variant{false, true, false}),
+                         VariantName);
+
+TEST(ForcedPathTest, TraceEvaluationBoundsObservedRun) {
+  // Section 6.2: force the analysis onto the measured path; the computed
+  // path cost must bound the hardware-model observation.
+  for (const bool l2 : {false, true}) {
+    System sys(KernelConfig::After(), EvalMachine(l2));
+    auto w = sys.BuildWorstCaseIpc();
+    sys.machine().PolluteCaches();
+    sys.kernel().exec().StartRecording();
+    const Cycles t0 = sys.machine().Now();
+    sys.kernel().Syscall(SysOp::kCall, w.ep_cptr, w.args);
+    const Cycles observed = sys.machine().Now() - t0;
+    const Trace trace = sys.kernel().exec().StopRecording();
+
+    AnalysisOptions ao;
+    ao.l2_enabled = l2;
+    WcetAnalyzer an(sys.kernel().image(), ao);
+    const Cycles forced = an.EvaluateTrace(trace);
+    const Cycles wcet = an.Analyze(EntryPoint::kSyscall).wcet;
+    EXPECT_LE(observed, forced) << "conservative path model must bound the run";
+    EXPECT_LE(forced, wcet) << "the WCET bounds every path";
+  }
+}
+
+TEST(ForcedPathTest, OverestimationGrowsWithL2) {
+  // Table 2 / Figure 8: enabling the L2 increases the model's pessimism.
+  double ratio[2] = {0, 0};
+  for (const bool l2 : {false, true}) {
+    System sys(KernelConfig::After(), EvalMachine(l2));
+    auto w = sys.BuildWorstCaseIpc();
+    sys.machine().PolluteCaches();
+    sys.kernel().exec().StartRecording();
+    const Cycles t0 = sys.machine().Now();
+    sys.kernel().Syscall(SysOp::kCall, w.ep_cptr, w.args);
+    const Cycles observed = sys.machine().Now() - t0;
+    const Trace trace = sys.kernel().exec().StopRecording();
+    AnalysisOptions ao;
+    ao.l2_enabled = l2;
+    WcetAnalyzer an(sys.kernel().image(), ao);
+    ratio[l2 ? 1 : 0] =
+        static_cast<double>(an.EvaluateTrace(trace)) / static_cast<double>(observed);
+  }
+  EXPECT_GT(ratio[0], 1.0);
+  EXPECT_GT(ratio[1], ratio[0]);
+}
+
+TEST(LatencyBoundTest, PreemptibleOpsMeetTheResponseBound) {
+  // End to end: a long preemptible operation under a periodic timer never
+  // exceeds the computed interrupt response bound.
+  System sys(KernelConfig::After(), EvalMachine(false));
+  EndpointObj* ep = nullptr;
+  const std::uint32_t ep_cptr = sys.AddEndpoint(&ep);
+  sys.QueueSenders(ep, 64, {kBadgeNone});
+  TcbObj* t = sys.AddThread(10);
+  sys.kernel().DirectSetCurrent(t);
+  Cap root_cap;
+  root_cap.type = ObjType::kCNode;
+  root_cap.obj = sys.root()->base;
+  const std::uint32_t root_cptr = sys.AddCap(root_cap);
+
+  WcetAnalyzer an(sys.kernel().image(), AnalysisOptions{});
+  const Cycles bound = an.InterruptResponseBound();
+
+  SyscallArgs args;
+  args.label = InvLabel::kCNodeDelete;
+  args.arg0 = ep_cptr & 0xFF;
+  const LongOpResult res = RunLongOpWithTimer(sys, SysOp::kCall, root_cptr, args, 3000);
+  EXPECT_GT(res.preemptions, 0u);
+  EXPECT_LE(res.max_irq_latency, bound);
+}
+
+}  // namespace
+}  // namespace pmk
