@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_futurework.dir/ablation_futurework.cc.o"
+  "CMakeFiles/ablation_futurework.dir/ablation_futurework.cc.o.d"
+  "ablation_futurework"
+  "ablation_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

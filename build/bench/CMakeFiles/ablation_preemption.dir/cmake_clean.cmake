@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preemption.dir/ablation_preemption.cc.o"
+  "CMakeFiles/ablation_preemption.dir/ablation_preemption.cc.o.d"
+  "ablation_preemption"
+  "ablation_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ipc_fastpath.dir/bench_ipc_fastpath.cc.o"
+  "CMakeFiles/bench_ipc_fastpath.dir/bench_ipc_fastpath.cc.o.d"
+  "bench_ipc_fastpath"
+  "bench_ipc_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ipc_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

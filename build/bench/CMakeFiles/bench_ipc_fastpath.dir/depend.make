@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ipc_fastpath.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_capdecode.dir/fig7_capdecode.cc.o"
+  "CMakeFiles/fig7_capdecode.dir/fig7_capdecode.cc.o.d"
+  "fig7_capdecode"
+  "fig7_capdecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_capdecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

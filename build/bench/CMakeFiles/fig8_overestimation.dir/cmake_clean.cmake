@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_overestimation.dir/fig8_overestimation.cc.o"
+  "CMakeFiles/fig8_overestimation.dir/fig8_overestimation.cc.o.d"
+  "fig8_overestimation"
+  "fig8_overestimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overestimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_l2_bpred.dir/fig9_l2_bpred.cc.o"
+  "CMakeFiles/fig9_l2_bpred.dir/fig9_l2_bpred.cc.o.d"
+  "fig9_l2_bpred"
+  "fig9_l2_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_l2_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

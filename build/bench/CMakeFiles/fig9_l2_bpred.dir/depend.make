@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_l2_bpred.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cache_pinning.dir/table1_cache_pinning.cc.o"
+  "CMakeFiles/table1_cache_pinning.dir/table1_cache_pinning.cc.o.d"
+  "table1_cache_pinning"
+  "table1_cache_pinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_pinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wcet.dir/table2_wcet.cc.o"
+  "CMakeFiles/table2_wcet.dir/table2_wcet.cc.o.d"
+  "table2_wcet"
+  "table2_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

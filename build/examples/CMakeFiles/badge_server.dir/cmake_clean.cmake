@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/badge_server.dir/badge_server.cpp.o"
+  "CMakeFiles/badge_server.dir/badge_server.cpp.o.d"
+  "badge_server"
+  "badge_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/badge_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

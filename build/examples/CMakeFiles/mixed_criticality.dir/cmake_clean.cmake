@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_criticality.dir/mixed_criticality.cpp.o"
+  "CMakeFiles/mixed_criticality.dir/mixed_criticality.cpp.o.d"
+  "mixed_criticality"
+  "mixed_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

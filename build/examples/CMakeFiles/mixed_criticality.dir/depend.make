@@ -1,0 +1,2 @@
+# Empty dependencies file for mixed_criticality.
+# This may be replaced when dependencies are built.

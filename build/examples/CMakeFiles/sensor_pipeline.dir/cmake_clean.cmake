@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_pipeline.dir/sensor_pipeline.cpp.o"
+  "CMakeFiles/sensor_pipeline.dir/sensor_pipeline.cpp.o.d"
+  "sensor_pipeline"
+  "sensor_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_tool.dir/wcet_tool.cpp.o"
+  "CMakeFiles/wcet_tool.dir/wcet_tool.cpp.o.d"
+  "wcet_tool"
+  "wcet_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/branch_predictor.cc" "src/hw/CMakeFiles/pmk_hw.dir/branch_predictor.cc.o" "gcc" "src/hw/CMakeFiles/pmk_hw.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/hw/cache.cc" "src/hw/CMakeFiles/pmk_hw.dir/cache.cc.o" "gcc" "src/hw/CMakeFiles/pmk_hw.dir/cache.cc.o.d"
+  "/root/repo/src/hw/irq.cc" "src/hw/CMakeFiles/pmk_hw.dir/irq.cc.o" "gcc" "src/hw/CMakeFiles/pmk_hw.dir/irq.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/pmk_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/pmk_hw.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

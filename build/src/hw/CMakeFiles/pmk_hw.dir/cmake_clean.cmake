@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmk_hw.dir/branch_predictor.cc.o"
+  "CMakeFiles/pmk_hw.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/pmk_hw.dir/cache.cc.o"
+  "CMakeFiles/pmk_hw.dir/cache.cc.o.d"
+  "CMakeFiles/pmk_hw.dir/irq.cc.o"
+  "CMakeFiles/pmk_hw.dir/irq.cc.o.d"
+  "CMakeFiles/pmk_hw.dir/machine.cc.o"
+  "CMakeFiles/pmk_hw.dir/machine.cc.o.d"
+  "libpmk_hw.a"
+  "libpmk_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmk_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

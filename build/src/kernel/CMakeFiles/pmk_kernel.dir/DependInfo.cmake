@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/cap.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/cap.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/cap.cc.o.d"
+  "/root/repo/src/kernel/image.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/image.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/image.cc.o.d"
+  "/root/repo/src/kernel/invariants.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/invariants.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/invariants.cc.o.d"
+  "/root/repo/src/kernel/ipc.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/ipc.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/ipc.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/objects.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/objects.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/objects.cc.o.d"
+  "/root/repo/src/kernel/objops.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/objops.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/objops.cc.o.d"
+  "/root/repo/src/kernel/sched.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/sched.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/sched.cc.o.d"
+  "/root/repo/src/kernel/vspace.cc" "src/kernel/CMakeFiles/pmk_kernel.dir/vspace.cc.o" "gcc" "src/kernel/CMakeFiles/pmk_kernel.dir/vspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kir/CMakeFiles/pmk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pmk_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmk_kernel.dir/cap.cc.o"
+  "CMakeFiles/pmk_kernel.dir/cap.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/image.cc.o"
+  "CMakeFiles/pmk_kernel.dir/image.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/invariants.cc.o"
+  "CMakeFiles/pmk_kernel.dir/invariants.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/ipc.cc.o"
+  "CMakeFiles/pmk_kernel.dir/ipc.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/kernel.cc.o"
+  "CMakeFiles/pmk_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/objects.cc.o"
+  "CMakeFiles/pmk_kernel.dir/objects.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/objops.cc.o"
+  "CMakeFiles/pmk_kernel.dir/objops.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/sched.cc.o"
+  "CMakeFiles/pmk_kernel.dir/sched.cc.o.d"
+  "CMakeFiles/pmk_kernel.dir/vspace.cc.o"
+  "CMakeFiles/pmk_kernel.dir/vspace.cc.o.d"
+  "libpmk_kernel.a"
+  "libpmk_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmk_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmk_kernel.a"
+)

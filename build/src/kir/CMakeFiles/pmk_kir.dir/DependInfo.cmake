@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kir/executor.cc" "src/kir/CMakeFiles/pmk_kir.dir/executor.cc.o" "gcc" "src/kir/CMakeFiles/pmk_kir.dir/executor.cc.o.d"
+  "/root/repo/src/kir/program.cc" "src/kir/CMakeFiles/pmk_kir.dir/program.cc.o" "gcc" "src/kir/CMakeFiles/pmk_kir.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/pmk_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

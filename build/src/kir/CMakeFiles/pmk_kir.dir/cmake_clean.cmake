@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmk_kir.dir/executor.cc.o"
+  "CMakeFiles/pmk_kir.dir/executor.cc.o.d"
+  "CMakeFiles/pmk_kir.dir/program.cc.o"
+  "CMakeFiles/pmk_kir.dir/program.cc.o.d"
+  "libpmk_kir.a"
+  "libpmk_kir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmk_kir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/latency.cc" "src/sim/CMakeFiles/pmk_sim.dir/latency.cc.o" "gcc" "src/sim/CMakeFiles/pmk_sim.dir/latency.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/pmk_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/pmk_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/pmk_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/pmk_sim.dir/runner.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/pmk_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/pmk_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/pmk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/pmk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pmk_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

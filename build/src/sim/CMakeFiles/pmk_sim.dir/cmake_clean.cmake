@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmk_sim.dir/latency.cc.o"
+  "CMakeFiles/pmk_sim.dir/latency.cc.o.d"
+  "CMakeFiles/pmk_sim.dir/report.cc.o"
+  "CMakeFiles/pmk_sim.dir/report.cc.o.d"
+  "CMakeFiles/pmk_sim.dir/runner.cc.o"
+  "CMakeFiles/pmk_sim.dir/runner.cc.o.d"
+  "CMakeFiles/pmk_sim.dir/workload.cc.o"
+  "CMakeFiles/pmk_sim.dir/workload.cc.o.d"
+  "libpmk_sim.a"
+  "libpmk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

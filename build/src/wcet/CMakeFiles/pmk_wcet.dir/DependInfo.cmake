@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wcet/analysis.cc" "src/wcet/CMakeFiles/pmk_wcet.dir/analysis.cc.o" "gcc" "src/wcet/CMakeFiles/pmk_wcet.dir/analysis.cc.o.d"
+  "/root/repo/src/wcet/cfg.cc" "src/wcet/CMakeFiles/pmk_wcet.dir/cfg.cc.o" "gcc" "src/wcet/CMakeFiles/pmk_wcet.dir/cfg.cc.o.d"
+  "/root/repo/src/wcet/cost.cc" "src/wcet/CMakeFiles/pmk_wcet.dir/cost.cc.o" "gcc" "src/wcet/CMakeFiles/pmk_wcet.dir/cost.cc.o.d"
+  "/root/repo/src/wcet/ilp.cc" "src/wcet/CMakeFiles/pmk_wcet.dir/ilp.cc.o" "gcc" "src/wcet/CMakeFiles/pmk_wcet.dir/ilp.cc.o.d"
+  "/root/repo/src/wcet/ipet.cc" "src/wcet/CMakeFiles/pmk_wcet.dir/ipet.cc.o" "gcc" "src/wcet/CMakeFiles/pmk_wcet.dir/ipet.cc.o.d"
+  "/root/repo/src/wcet/loopbound.cc" "src/wcet/CMakeFiles/pmk_wcet.dir/loopbound.cc.o" "gcc" "src/wcet/CMakeFiles/pmk_wcet.dir/loopbound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/pmk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/pmk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pmk_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

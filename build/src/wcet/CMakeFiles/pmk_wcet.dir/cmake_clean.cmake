@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmk_wcet.dir/analysis.cc.o"
+  "CMakeFiles/pmk_wcet.dir/analysis.cc.o.d"
+  "CMakeFiles/pmk_wcet.dir/cfg.cc.o"
+  "CMakeFiles/pmk_wcet.dir/cfg.cc.o.d"
+  "CMakeFiles/pmk_wcet.dir/cost.cc.o"
+  "CMakeFiles/pmk_wcet.dir/cost.cc.o.d"
+  "CMakeFiles/pmk_wcet.dir/ilp.cc.o"
+  "CMakeFiles/pmk_wcet.dir/ilp.cc.o.d"
+  "CMakeFiles/pmk_wcet.dir/ipet.cc.o"
+  "CMakeFiles/pmk_wcet.dir/ipet.cc.o.d"
+  "CMakeFiles/pmk_wcet.dir/loopbound.cc.o"
+  "CMakeFiles/pmk_wcet.dir/loopbound.cc.o.d"
+  "libpmk_wcet.a"
+  "libpmk_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmk_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pmk_wcet.
+# This may be replaced when dependencies are built.

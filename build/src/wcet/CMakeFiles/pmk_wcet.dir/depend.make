@@ -1,0 +1,2 @@
+# Empty dependencies file for pmk_wcet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_sweep_test.dir/config_sweep_test.cc.o"
+  "CMakeFiles/config_sweep_test.dir/config_sweep_test.cc.o.d"
+  "config_sweep_test"
+  "config_sweep_test.pdb"
+  "config_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

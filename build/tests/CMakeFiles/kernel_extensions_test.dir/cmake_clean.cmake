@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_extensions_test.dir/kernel_extensions_test.cc.o"
+  "CMakeFiles/kernel_extensions_test.dir/kernel_extensions_test.cc.o.d"
+  "kernel_extensions_test"
+  "kernel_extensions_test.pdb"
+  "kernel_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

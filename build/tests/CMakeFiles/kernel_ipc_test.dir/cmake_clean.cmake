@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_ipc_test.dir/kernel_ipc_test.cc.o"
+  "CMakeFiles/kernel_ipc_test.dir/kernel_ipc_test.cc.o.d"
+  "kernel_ipc_test"
+  "kernel_ipc_test.pdb"
+  "kernel_ipc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_ipc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_objops_test.dir/kernel_objops_test.cc.o"
+  "CMakeFiles/kernel_objops_test.dir/kernel_objops_test.cc.o.d"
+  "kernel_objops_test"
+  "kernel_objops_test.pdb"
+  "kernel_objops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_objops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

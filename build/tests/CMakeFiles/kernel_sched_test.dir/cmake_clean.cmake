@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_sched_test.dir/kernel_sched_test.cc.o"
+  "CMakeFiles/kernel_sched_test.dir/kernel_sched_test.cc.o.d"
+  "kernel_sched_test"
+  "kernel_sched_test.pdb"
+  "kernel_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

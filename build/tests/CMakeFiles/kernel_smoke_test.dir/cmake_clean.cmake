@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_smoke_test.dir/kernel_smoke_test.cc.o"
+  "CMakeFiles/kernel_smoke_test.dir/kernel_smoke_test.cc.o.d"
+  "kernel_smoke_test"
+  "kernel_smoke_test.pdb"
+  "kernel_smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel_vspace_test.cc" "tests/CMakeFiles/kernel_vspace_test.dir/kernel_vspace_test.cc.o" "gcc" "tests/CMakeFiles/kernel_vspace_test.dir/kernel_vspace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pmk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/pmk_wcet.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pmk_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kir/CMakeFiles/pmk_kir.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pmk_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kir_test.dir/kir_test.cc.o"
+  "CMakeFiles/kir_test.dir/kir_test.cc.o.d"
+  "kir_test"
+  "kir_test.pdb"
+  "kir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

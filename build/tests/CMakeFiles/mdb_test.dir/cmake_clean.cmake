@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdb_test.dir/mdb_test.cc.o"
+  "CMakeFiles/mdb_test.dir/mdb_test.cc.o.d"
+  "mdb_test"
+  "mdb_test.pdb"
+  "mdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

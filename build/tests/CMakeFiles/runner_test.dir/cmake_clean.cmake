@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner_test.dir/runner_test.cc.o"
+  "CMakeFiles/runner_test.dir/runner_test.cc.o.d"
+  "runner_test"
+  "runner_test.pdb"
+  "runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_pipeline_test.dir/wcet_pipeline_test.cc.o"
+  "CMakeFiles/wcet_pipeline_test.dir/wcet_pipeline_test.cc.o.d"
+  "wcet_pipeline_test"
+  "wcet_pipeline_test.pdb"
+  "wcet_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

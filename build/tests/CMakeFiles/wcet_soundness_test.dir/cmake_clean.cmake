@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_soundness_test.dir/wcet_soundness_test.cc.o"
+  "CMakeFiles/wcet_soundness_test.dir/wcet_soundness_test.cc.o.d"
+  "wcet_soundness_test"
+  "wcet_soundness_test.pdb"
+  "wcet_soundness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_soundness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worst_trace_test.dir/worst_trace_test.cc.o"
+  "CMakeFiles/worst_trace_test.dir/worst_trace_test.cc.o.d"
+  "worst_trace_test"
+  "worst_trace_test.pdb"
+  "worst_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worst_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

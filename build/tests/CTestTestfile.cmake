@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/config_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/mdb_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_smoke_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_ipc_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_objops_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_vspace_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_sched_test[1]_include.cmake")
+include("/root/repo/build/tests/kir_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_util_test[1]_include.cmake")
+include("/root/repo/build/tests/wcet_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/worst_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/wcet_soundness_test[1]_include.cmake")
