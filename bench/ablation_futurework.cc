@@ -62,12 +62,22 @@ std::vector<ManualConstraint> OnlyReplyRecv(const KernelImage& img) {
 }  // namespace
 }  // namespace pmk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
+  const bool csv = HasFlag(argc, argv, "--csv");
+  const auto show = [csv](const Table& t) {
+    if (csv) {
+      t.PrintCsv();
+    } else {
+      t.Print();
+    }
+  };
 
   // ---- 1. Whole-kernel L2 pinning ----
-  std::printf("Future work 1 (Sections 4, 6.4, 8): lock the whole kernel into the L2\n\n");
+  if (!csv) {
+    std::printf("Future work 1 (Sections 4, 6.4, 8): lock the whole kernel into the L2\n\n");
+  }
   {
     const auto img = BuildKernelImage(KernelConfig::After());
     AnalysisOptions l2_off;
@@ -85,7 +95,7 @@ int main() {
                 Table::Us(clk.ToMicros(a_on.Analyze(e).wcet)),
                 Table::Us(clk.ToMicros(a_pin.Analyze(e).wcet))});
     }
-    t.Print();
+    show(t);
     // Runtime check: pin the kernel into the modelled L2 and observe.
     System sys(KernelConfig::After(), EvalMachine(true));
     const std::size_t pinned = sys.kernel().ApplyL2KernelPinning();
@@ -93,13 +103,17 @@ int main() {
     sys.machine().PolluteCaches();
     const Cycles t0 = sys.machine().Now();
     sys.kernel().Syscall(SysOp::kCall, w.ep_cptr, w.args);
-    std::printf("\n%zu L2 lines pinned; observed worst-case IPC with kernel-in-L2:"
-                " %llu cycles\n", pinned,
-                static_cast<unsigned long long>(sys.machine().Now() - t0));
+    if (!csv) {
+      std::printf("\n%zu L2 lines pinned; observed worst-case IPC with kernel-in-L2:"
+                  " %llu cycles\n", pinned,
+                  static_cast<unsigned long long>(sys.machine().Now() - t0));
+    }
   }
 
   // ---- 2. Preemptible atomic send-receive ----
-  std::printf("\nFuture work 2 (Sections 6.1, 8): split the atomic send-receive\n\n");
+  if (!csv) {
+    std::printf("\nFuture work 2 (Sections 6.1, 8): split the atomic send-receive\n\n");
+  }
   {
     KernelConfig split = KernelConfig::After();
     split.preemptible_send_receive = true;
@@ -117,13 +131,17 @@ int main() {
                 Table::Us(clk.ToMicros(a_rr.Analyze(EntryPoint::kSyscall).wcet)),
                 Table::Us(clk.ToMicros(a_all.Analyze(EntryPoint::kSyscall).wcet))});
     }
-    t.Print();
-    std::printf("(paper: \"the execution time of this operation could be almost halved\n"
-                " by inserting a preemption point between the send and receive phases\")\n");
+    show(t);
+    if (!csv) {
+      std::printf("(paper: \"the execution time of this operation could be almost halved\n"
+                  " by inserting a preemption point between the send and receive phases\")\n");
+    }
   }
 
   // ---- 3. Open vs closed systems ----
-  std::printf("\nOpen vs closed systems (Section 6.1)\n\n");
+  if (!csv) {
+    std::printf("\nOpen vs closed systems (Section 6.1)\n\n");
+  }
   {
     Table t({"kernel", "closed system (us)", "open system (us)", "open/closed"});
     for (const auto& [name, kc] :
@@ -140,10 +158,12 @@ int main() {
       t.AddRow({name, Table::Us(clk.ToMicros(wc)), Table::Us(clk.ToMicros(wo)),
                 Table::Ratio(static_cast<double>(wo) / static_cast<double>(wc))});
     }
-    t.Print();
-    std::printf("(the paper's changes shrink the open/closed gap from orders of\n"
-                " magnitude to the cap-decode factor, which the authority model can\n"
-                " eliminate by denying adversaries their own cspaces)\n");
+    show(t);
+    if (!csv) {
+      std::printf("(the paper's changes shrink the open/closed gap from orders of\n"
+                  " magnitude to the cap-decode factor, which the authority model can\n"
+                  " eliminate by denying adversaries their own cspaces)\n");
+    }
   }
   return 0;
 }

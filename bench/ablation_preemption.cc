@@ -109,12 +109,15 @@ Cycles AsDeleteLatency(KernelConfig kc) {
 }  // namespace
 }  // namespace pmk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
+  const bool csv = HasFlag(argc, argv, "--csv");
 
-  std::printf("Ablation: observed worst interrupt response during long operations,\n");
-  std::printf("with each preemption-point family disabled vs enabled\n\n");
+  if (!csv) {
+    std::printf("Ablation: observed worst interrupt response during long operations,\n");
+    std::printf("with each preemption-point family disabled vs enabled\n\n");
+  }
 
   Table t({"operation", "non-preemptible (us)", "preemptible (us)", "improvement"});
   {
@@ -154,16 +157,26 @@ int main() {
               Table::Us(clk.ToMicros(b)),
               Table::Ratio(static_cast<double>(a) / static_cast<double>(b)) + "x"});
   }
-  t.Print();
+  if (csv) {
+    t.PrintCsv();
+  } else {
+    t.Print();
+  }
 
-  std::printf("\nClearing-chunk sweep (Section 3.5): preempting more finely than the\n");
-  std::printf("non-preemptible 1 KiB global-mapping copy buys nothing.\n\n");
+  if (!csv) {
+    std::printf("\nClearing-chunk sweep (Section 3.5): preempting more finely than the\n");
+    std::printf("non-preemptible 1 KiB global-mapping copy buys nothing.\n\n");
+  }
   Table t2({"chunk", "observed worst response (us)"});
   for (const std::uint32_t chunk : {4096u, 2048u, 1024u, 512u, 256u}) {
     const Cycles lat = RetypeLatency(KernelConfig::After(), chunk);
     t2.AddRow({std::to_string(chunk) + " B", Table::Us(clk.ToMicros(lat))});
   }
-  t2.Print();
+  if (csv) {
+    t2.PrintCsv();
+  } else {
+    t2.Print();
+  }
   {
     // The floor set by the 1 KiB page-directory copy: retype a PD instead.
     System sys(KernelConfig::After(), EvalMachine(false));
@@ -175,10 +188,14 @@ int main() {
     args.obj_type = ObjType::kPageDir;
     args.dest_index = 70;
     const LongOpResult res = RunLongOpWithTimer(sys, SysOp::kCall, ut_cptr, args, 7000);
-    std::printf(
-        "\npage-directory creation (non-preemptible 1 KiB global-mapping copy):\n"
-        "  worst observed response %.1f us — the latency floor the paper accepts\n",
-        clk.ToMicros(res.max_irq_latency));
+    if (!csv) {
+      std::printf(
+          "\npage-directory creation (non-preemptible 1 KiB global-mapping copy):\n"
+          "  worst observed response %.1f us — the latency floor the paper accepts\n",
+          clk.ToMicros(res.max_irq_latency));
+      std::printf("  response distribution: %s\n",
+                  res.irq_hist.FormatSummary(&clk).c_str());
+    }
   }
   return 0;
 }

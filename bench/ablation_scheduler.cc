@@ -56,9 +56,17 @@ Cycles LowPrioWakeCost(const KernelConfig& kc) {
 }  // namespace
 }  // namespace pmk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
+  const bool csv = HasFlag(argc, argv, "--csv");
+  const auto show = [csv](const Table& t) {
+    if (csv) {
+      t.PrintCsv();
+    } else {
+      t.Print();
+    }
+  };
 
   KernelConfig lazy = KernelConfig::Before();
   lazy.vspace = VSpaceKind::kShadow;  // isolate the scheduler change
@@ -69,8 +77,10 @@ int main() {
   benno_nb.scheduler_bitmap = false;
   const KernelConfig benno = KernelConfig::After();
 
-  std::printf("Ablation 1: reschedule cost vs stale (blocked-but-queued) threads\n");
-  std::printf("(the lazy-scheduling pathology of Section 3.1)\n\n");
+  if (!csv) {
+    std::printf("Ablation 1: reschedule cost vs stale (blocked-but-queued) threads\n");
+    std::printf("(the lazy-scheduling pathology of Section 3.1)\n\n");
+  }
   Table t1({"stale threads", "lazy (cycles)", "Benno (cycles)", "lazy/Benno"});
   for (const std::uint32_t n : {0u, 8u, 32u, 64u, 100u}) {
     const Cycles cl = LazyRescheduleCost(lazy, n);
@@ -78,15 +88,19 @@ int main() {
     t1.AddRow({std::to_string(n), Table::Cyc(cl), Table::Cyc(cb),
                Table::Ratio(static_cast<double>(cl) / static_cast<double>(cb))});
   }
-  t1.Print();
+  show(t1);
 
-  std::printf("\nAblation 2: picking a low-priority thread out of 256 queues\n\n");
+  if (!csv) {
+    std::printf("\nAblation 2: picking a low-priority thread out of 256 queues\n\n");
+  }
   Table t2({"scheduler", "reschedule-to-prio-1 (cycles)"});
   t2.AddRow({"Benno + bitmap (2 loads + 2 CLZ)", Table::Cyc(LowPrioWakeCost(benno))});
   t2.AddRow({"Benno, linear scan", Table::Cyc(LowPrioWakeCost(benno_nb))});
-  t2.Print();
+  show(t2);
 
-  std::printf("\nAblation 3: computed interrupt-path WCET per scheduler\n\n");
+  if (!csv) {
+    std::printf("\nAblation 3: computed interrupt-path WCET per scheduler\n\n");
+  }
   Table t3({"scheduler", "interrupt WCET (cycles)", "us"});
   for (const auto& [name, kc] :
        {std::pair<const char*, KernelConfig>{"lazy (Figure 2)", lazy},
@@ -97,10 +111,12 @@ int main() {
     const Cycles w = an.Analyze(EntryPoint::kInterrupt).wcet;
     t3.AddRow({name, Table::Cyc(w), Table::Us(clk.ToMicros(w))});
   }
-  t3.Print();
+  show(t3);
 
-  std::printf("\npaper shape: lazy's worst case grows with the stale population\n");
-  std::printf("(\"theoretically only limited by the amount of memory\"); Benno is flat\n");
-  std::printf("with the same best-case IPC performance.\n");
+  if (!csv) {
+    std::printf("\npaper shape: lazy's worst case grows with the stale population\n");
+    std::printf("(\"theoretically only limited by the amount of memory\"); Benno is flat\n");
+    std::printf("with the same best-case IPC performance.\n");
+  }
   return 0;
 }

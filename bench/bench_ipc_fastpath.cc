@@ -6,6 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/pmu.h"
+#include "src/sim/report.h"
 #include "src/sim/workload.h"
 
 namespace pmk {
@@ -49,14 +56,24 @@ void BM_FastpathCall(benchmark::State& state) {
   PingPong pp(KernelConfig::After());
   Cycles cycles = 0;
   std::uint64_t n = 0;
+  const PmuSnapshot pmu0 = ReadPmu(pp.sys.machine());
   for (auto _ : state) {
     cycles += pp.RoundTrip(2);  // fastpath-eligible
     n++;
   }
+  const PmuSnapshot pmu = ReadPmu(pp.sys.machine()) - pmu0;
   state.counters["modelled_cycles"] =
       benchmark::Counter(static_cast<double>(cycles) / static_cast<double>(n));
   state.counters["fastpath_hits"] =
       benchmark::Counter(static_cast<double>(pp.sys.kernel().fastpath_hits()));
+  const double dn = static_cast<double>(n);
+  state.counters["instr_per_rt"] = benchmark::Counter(static_cast<double>(pmu.instructions) / dn);
+  state.counters["l1i_miss_per_rt"] =
+      benchmark::Counter(static_cast<double>(pmu.l1i_misses) / dn);
+  state.counters["l1d_miss_per_rt"] =
+      benchmark::Counter(static_cast<double>(pmu.l1d_misses) / dn);
+  state.counters["stall_per_rt"] =
+      benchmark::Counter(static_cast<double>(pmu.mem_stall_cycles) / dn);
 }
 BENCHMARK(BM_FastpathCall);
 
@@ -140,7 +157,65 @@ void BM_DeepDecodeSend(benchmark::State& state) {
 }
 BENCHMARK(BM_DeepDecodeSend)->Arg(1)->Arg(8)->Arg(32);
 
+// After the google-benchmark runs: one instrumented fastpath round trip with
+// the PMU read around it and (optionally) a Chrome trace of the kernel path.
+// The trace sink charges no modelled cycles, so the modelled_cycles counters
+// above are identical whether or not tracing is requested.
+void ReportObservability(bool csv, const std::string& trace_path) {
+  PingPong pp(KernelConfig::After());
+  ChromeTraceWriter writer(ClockSpec{});
+  if (!trace_path.empty()) {
+    pp.sys.AttachTraceSink(&writer);
+  }
+  const PmuSnapshot pmu0 = ReadPmu(pp.sys.machine());
+  const Cycles call_cycles = pp.RoundTrip(2);
+  const PmuSnapshot d = ReadPmu(pp.sys.machine()) - pmu0;
+
+  Table t({"metric", "value"});
+  t.AddRow({"fastpath_call_cycles", Table::Cyc(call_cycles)});
+  t.AddRow({"roundtrip_cycles", Table::Cyc(d.cycles)});
+  t.AddRow({"instructions", Table::Cyc(d.instructions)});
+  t.AddRow({"l1i_misses", Table::Cyc(d.l1i_misses)});
+  t.AddRow({"l1d_misses", Table::Cyc(d.l1d_misses)});
+  t.AddRow({"branches", Table::Cyc(d.branches)});
+  t.AddRow({"mem_stall_cycles", Table::Cyc(d.mem_stall_cycles)});
+  if (csv) {
+    t.PrintCsv();
+  } else {
+    std::printf("\nPMU, one warm fastpath round trip:\n");
+    t.Print();
+  }
+  if (!trace_path.empty()) {
+    if (writer.WriteFile(trace_path)) {
+      std::printf("wrote %s (%zu events)\n", trace_path.c_str(), writer.events().size());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pmk
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool csv = pmk::HasFlag(argc, argv, "--csv");
+  const std::string trace_path = pmk::FlagValue(argc, argv, "--trace-json=");
+  // Strip our flags before handing argv to google-benchmark.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--csv" || a.rfind("--trace-json=", 0) == 0) {
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pmk::ReportObservability(csv, trace_path);
+  return 0;
+}

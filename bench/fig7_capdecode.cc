@@ -11,12 +11,15 @@
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
+  const bool csv = HasFlag(argc, argv, "--csv");
 
-  std::printf("Figure 7: cost of capability decode vs cspace depth\n");
-  std::printf("(Send through a chain of 1-bit CNodes; cold polluted caches)\n\n");
+  if (!csv) {
+    std::printf("Figure 7: cost of capability decode vs cspace depth\n");
+    std::printf("(Send through a chain of 1-bit CNodes; cold polluted caches)\n\n");
+  }
 
   Table t({"levels", "syscall cycles", "us", ""});
   Cycles depth32 = 0;
@@ -50,6 +53,10 @@ int main() {
       t.AddRow({std::to_string(levels), Table::Cyc(cost), Table::Us(clk.ToMicros(cost)),
                 Bar(static_cast<double>(cost), 12000.0, 30)});
     }
+  }
+  if (csv) {
+    t.PrintCsv();
+    return 0;
   }
   t.Print();
   std::printf("\n32-level decode costs %.1fx a 1-level decode\n",

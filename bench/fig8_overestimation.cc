@@ -10,7 +10,9 @@
 // under the 1-way-conservative model); L2 on is worse than L2 off.
 
 #include <cstdio>
+#include <string>
 
+#include "src/obs/chrome_trace.h"
 #include "src/sim/latency.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
@@ -88,11 +90,18 @@ PathRun RunPath(EntryPoint entry, System& sys) {
 }  // namespace
 }  // namespace pmk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
 
-  std::printf("Figure 8: %% overestimation of the hardware model on realisable paths\n");
-  std::printf("(forced-path computed cost vs observed execution of the same path)\n\n");
+  const bool csv = HasFlag(argc, argv, "--csv");
+  // --trace-json=FILE: dump a Chrome trace of the system-call path run
+  // (L2 off) — the figure's most-overestimated bar — for Perfetto inspection.
+  const std::string trace_path = FlagValue(argc, argv, "--trace-json=");
+
+  if (!csv) {
+    std::printf("Figure 8: %% overestimation of the hardware model on realisable paths\n");
+    std::printf("(forced-path computed cost vs observed execution of the same path)\n\n");
+  }
 
   Table t({"Path", "L2", "observed (cyc)", "forced-path computed", "overestimation"});
   double max_pct = 0;
@@ -106,7 +115,15 @@ int main() {
                            EntryPoint::kPageFault, EntryPoint::kInterrupt}) {
     for (const bool l2 : {true, false}) {
       System sys(KernelConfig::After(), EvalMachine(l2));
+      ChromeTraceWriter writer(ClockSpec{});
+      const bool trace_this = !trace_path.empty() && entry == EntryPoint::kSyscall && !l2;
+      if (trace_this) {
+        sys.AttachTraceSink(&writer);
+      }
       const PathRun run = RunPath(entry, sys);
+      if (trace_this && !writer.WriteFile(trace_path)) {
+        std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+      }
       AnalysisOptions ao;
       ao.l2_enabled = l2;
       WcetAnalyzer an(*run.image, ao);
@@ -119,6 +136,10 @@ int main() {
                       l2, pct});
       max_pct = std::max(max_pct, pct);
     }
+  }
+  if (csv) {
+    t.PrintCsv();
+    return 0;
   }
   t.Print();
 

@@ -102,11 +102,14 @@ Cycles Observe(EntryPoint entry, bool l2, bool bpred) {
 }  // namespace
 }  // namespace pmk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
+  const bool csv = HasFlag(argc, argv, "--csv");
 
-  std::printf("Figure 9: observed worst-case execution times with the L2 cache and/or\n");
-  std::printf("branch predictor enabled, normalised to the baseline (both disabled)\n\n");
+  if (!csv) {
+    std::printf("Figure 9: observed worst-case execution times with the L2 cache and/or\n");
+    std::printf("branch predictor enabled, normalised to the baseline (both disabled)\n\n");
+  }
 
   Table t({"Path", "Baseline (cyc)", "L2 on", "B-pred on", "L2+B-pred"});
   for (const auto entry : {EntryPoint::kSyscall, EntryPoint::kUndefined,
@@ -119,6 +122,10 @@ int main() {
       return Table::Ratio(static_cast<double>(c) / static_cast<double>(base));
     };
     t.AddRow({EntryPointName(entry), Table::Cyc(base), norm(l2), norm(bp), norm(both)});
+  }
+  if (csv) {
+    t.PrintCsv();
+    return 0;
   }
   t.Print();
 

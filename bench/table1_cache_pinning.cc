@@ -16,9 +16,10 @@
 #include "src/sim/report.h"
 #include "src/wcet/analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
+  const bool csv = HasFlag(argc, argv, "--csv");
 
   const auto img = BuildKernelImage(KernelConfig::After());
   AnalysisOptions plain;
@@ -29,10 +30,12 @@ int main() {
 
   // Report how much actually fits into the locked quarter of the I-cache.
   const PinnedLines pins = SelectPinnedLines(*img, 32, 4096 / 32);
-  std::printf("Table 1: computed WCET with and without L1 cache pinning\n");
-  std::printf("(%zu instruction lines + %zu data lines locked into 1/4 of each L1;\n",
-              pins.ilines.size(), pins.dlines.size());
-  std::printf(" the paper pins 118 instruction lines, 256 B of stack and key data)\n\n");
+  if (!csv) {
+    std::printf("Table 1: computed WCET with and without L1 cache pinning\n");
+    std::printf("(%zu instruction lines + %zu data lines locked into 1/4 of each L1;\n",
+                pins.ilines.size(), pins.dlines.size());
+    std::printf(" the paper pins 118 instruction lines, 256 B of stack and key data)\n\n");
+  }
 
   Table t({"Event handler", "Without pinning (us)", "With pinning (us)", "% gain"});
   for (const auto entry : {EntryPoint::kSyscall, EntryPoint::kUndefined,
@@ -41,6 +44,10 @@ int main() {
     const Cycles w1 = a1.Analyze(entry).wcet;
     t.AddRow({EntryPointName(entry), Table::Us(clk.ToMicros(w0)), Table::Us(clk.ToMicros(w1)),
               Table::Pct(1.0 - static_cast<double>(w1) / static_cast<double>(w0))});
+  }
+  if (csv) {
+    t.PrintCsv();
+    return 0;
   }
   t.Print();
   std::printf("\npaper gains for comparison: 10%% / 30%% / 27%% / 46%%\n");

@@ -84,13 +84,16 @@ Cycles ObservedWorst(EntryPoint entry, const KernelConfig& kc, bool l2,
 }  // namespace
 }  // namespace pmk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
+  const bool csv = HasFlag(argc, argv, "--csv");
 
-  std::printf("Table 2: WCET per kernel entry point, before vs after the paper's changes\n");
-  std::printf("(computed = sound bound from the static analysis; observed = best-effort\n");
-  std::printf(" worst-case recreation, max of 16 polluted-cache runs; us @ 532 MHz)\n\n");
+  if (!csv) {
+    std::printf("Table 2: WCET per kernel entry point, before vs after the paper's changes\n");
+    std::printf("(computed = sound bound from the static analysis; observed = best-effort\n");
+    std::printf(" worst-case recreation, max of 16 polluted-cache runs; us @ 532 MHz)\n\n");
+  }
 
   Table t({"Event handler", "Before;L2 off (us)", "After;L2 off comp", "obs", "ratio",
            "After;L2 on comp", "obs", "ratio"});
@@ -131,6 +134,10 @@ int main() {
               Table::Ratio(static_cast<double>(a_off) / static_cast<double>(o_off)),
               Table::Us(clk.ToMicros(a_on)), Table::Us(clk.ToMicros(o_on)),
               Table::Ratio(static_cast<double>(a_on) / static_cast<double>(o_on))});
+  }
+  if (csv) {
+    t.PrintCsv();
+    return 0;
   }
   t.Print();
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/trace_sink.h"
+
 namespace pmk {
 
 void InterruptController::Assert(std::uint32_t line, Cycles now) {
@@ -11,6 +13,14 @@ void InterruptController::Assert(std::uint32_t line, Cycles now) {
   }
   pending_[line] = true;
   assert_time_[line] = now;
+  if (sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kIrqAssert;
+    e.cycle = now;
+    e.name = "irq";
+    e.id = line;
+    sink_->OnEvent(e);
+  }
 }
 
 bool InterruptController::AnyPending() const {

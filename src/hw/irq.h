@@ -17,6 +17,8 @@
 
 namespace pmk {
 
+class TraceSink;
+
 class InterruptController {
  public:
   static constexpr std::uint32_t kNumLines = 32;
@@ -43,10 +45,16 @@ class InterruptController {
 
   void Reset();
 
+  // Optional observability sink: a fresh assertion (not a re-assert of a
+  // pending line) emits a kIrqAssert event. Purely observational.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* trace_sink() const { return sink_; }
+
  private:
   std::array<bool, kNumLines> pending_{};
   std::array<bool, kNumLines> masked_{};
   std::array<Cycles, kNumLines> assert_time_{};
+  TraceSink* sink_ = nullptr;
 };
 
 // Periodic timer that asserts kTimerLine on the interrupt controller.

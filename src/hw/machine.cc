@@ -22,13 +22,20 @@ Machine::Machine(const MachineConfig& config)
       timer_(&irq_, config.timer_period) {}
 
 Cycles Machine::MissPenalty(Addr addr) {
+  Cycles penalty;
   if (!config_.l2_enabled) {
-    return config_.memory.mem_latency_l2_off;
+    penalty = config_.memory.mem_latency_l2_off;
+  } else {
+    counters_.l2_accesses++;
+    if (l2_.Access(addr)) {
+      penalty = config_.memory.l2_hit_latency;
+    } else {
+      counters_.l2_misses++;
+      penalty = config_.memory.mem_latency_l2_on;
+    }
   }
-  if (l2_.Access(addr)) {
-    return config_.memory.l2_hit_latency;
-  }
-  return config_.memory.mem_latency_l2_on;
+  counters_.mem_stall_cycles += penalty;
+  return penalty;
 }
 
 void Machine::Advance(Cycles n) {
@@ -39,10 +46,13 @@ void Machine::Advance(Cycles n) {
 void Machine::InstrFetch(Addr addr, std::uint32_t n_instr) {
   const std::uint32_t line = config_.l1i.line_bytes;
   Cycles cost = n_instr;  // 1 cycle per instruction, pipelined.
+  counters_.instructions += n_instr;
   const Addr first_line = addr / line;
   const Addr last_line = (addr + static_cast<Addr>(n_instr) * kInstrBytes - 1) / line;
   for (Addr l = first_line; l <= last_line; ++l) {
+    counters_.l1i_accesses++;
     if (!l1i_.Access(l * line)) {
+      counters_.l1i_misses++;
       cost += MissPenalty(l * line);
     }
   }
@@ -52,14 +62,22 @@ void Machine::InstrFetch(Addr addr, std::uint32_t n_instr) {
 void Machine::DataAccess(Addr addr, bool write) {
   (void)write;  // write-allocate: same penalty either way
   Cycles cost = config_.memory.load_use_stall;  // pipeline result latency
+  counters_.l1d_accesses++;
   if (!l1d_.Access(addr)) {
+    counters_.l1d_misses++;
     cost += MissPenalty(addr);
   }
   Advance(cost);
 }
 
 void Machine::Branch(Addr pc, BranchKind kind, bool taken) {
-  Advance(bpred_.OnBranch(pc, kind, taken));
+  if (kind != BranchKind::kNone) {
+    counters_.branches++;
+  }
+  const std::uint64_t mp_before = bpred_.mispredicts();
+  const Cycles cost = bpred_.OnBranch(pc, kind, taken);
+  counters_.branch_mispredicts += bpred_.mispredicts() - mp_before;
+  Advance(cost);
 }
 
 void Machine::RawCycles(Cycles n) { Advance(n); }

@@ -31,6 +31,23 @@ struct MachineConfig {
   Cycles timer_period = 0;  // 0 = no periodic timer
 };
 
+// Monotonic PMU-style event counters. Unlike the per-cache CacheStats these
+// are never reset (PolluteCaches, InvalidateCaches and ResetStats leave them
+// counting), so snapshot/delta measurement (src/obs/pmu.h) stays valid across
+// the cache-polluting runs of Section 5.4.
+struct HwCounters {
+  std::uint64_t instructions = 0;
+  std::uint64_t l1i_accesses = 0;  // I-cache line lookups
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_accesses = 0;  // L1-miss refills reaching the L2
+  std::uint64_t l2_misses = 0;
+  std::uint64_t branches = 0;  // charged branch events
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t mem_stall_cycles = 0;  // cycles stalled on cache refills
+};
+
 class Machine {
  public:
   explicit Machine(const MachineConfig& config);
@@ -77,11 +94,17 @@ class Machine {
 
   Cycles Now() const { return now_; }
   const MachineConfig& config() const { return config_; }
+  const HwCounters& counters() const { return counters_; }
   Cache& l1i() { return l1i_; }
   Cache& l1d() { return l1d_; }
   Cache& l2() { return l2_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
   BranchPredictor& bpred() { return bpred_; }
+  const BranchPredictor& bpred() const { return bpred_; }
   InterruptController& irq() { return irq_; }
+  const InterruptController& irq() const { return irq_; }
   IntervalTimer& timer() { return timer_; }
 
   void set_l2_enabled(bool enabled) { config_.l2_enabled = enabled; }
@@ -102,6 +125,7 @@ class Machine {
   InterruptController irq_;
   IntervalTimer timer_;
   Cycles now_ = 0;
+  HwCounters counters_;
 };
 
 }  // namespace pmk

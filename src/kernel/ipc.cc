@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/kernel/kernel.h"
+#include "src/obs/trace_sink.h"
 
 namespace pmk {
 
@@ -316,13 +317,30 @@ void Kernel::HandleInterruptImpl() {
   x(h.entry);
   const auto line = machine_->irq().PendingLine();
   x(h.valid);
+  // Acknowledges |ln| and records the observed response latency, both in the
+  // max-only kernel log and (when a sink is attached) as a kIrqDeliver event
+  // paired with the controller's kIrqAssert.
+  const auto ack = [&](std::uint32_t ln) {
+    const Cycles asserted = machine_->irq().Acknowledge(ln);
+    const Cycles latency = machine_->Now() - asserted;
+    irq_latencies_.push_back(latency);
+    if (TraceSink* sink = exec_.trace_sink()) {
+      TraceEvent ev;
+      ev.kind = TraceEventKind::kIrqDeliver;
+      ev.cycle = machine_->Now();
+      ev.name = "irq";
+      ev.id = ln;
+      ev.arg0 = asserted;
+      ev.arg1 = latency;
+      sink->OnEvent(ev);
+    }
+  };
   const bool timeslicing = config_.kernel_timer_line != KernelConfig::kNoKernelTimer;
   if (timeslicing && line.has_value() && *line == config_.kernel_timer_line) {
     // The kernel's own preemption timer: timeslice accounting (round-robin
     // among equal priorities). The line stays unmasked; it fires again next
     // period.
-    const Cycles asserted = machine_->irq().Acknowledge(*line);
-    irq_latencies_.push_back(machine_->Now() - asserted);
+    ack(*line);
     x(h.d_timer);
     x(h.tick);
     T(current_->base, /*write=*/true);
@@ -337,9 +355,8 @@ void Kernel::HandleInterruptImpl() {
     if (timeslicing) {
       x(h.d_timer);  // checked and found to be a device interrupt
     }
-    const Cycles asserted = machine_->irq().Acknowledge(*line);
+    ack(*line);
     machine_->irq().Mask(*line);
-    irq_latencies_.push_back(machine_->Now() - asserted);
     x(h.binding);
     T(image_->SymAddr(image_->syms.irq_bindings) + static_cast<Addr>(*line) * 8);
     EndpointObj* ep = objs_.Get<EndpointObj>(irq_bindings_[*line]);
@@ -347,9 +364,8 @@ void Kernel::HandleInterruptImpl() {
     NotifyEp(ep, *line + 1);
   } else {
     if (line.has_value()) {
-      const Cycles asserted = machine_->irq().Acknowledge(*line);
+      ack(*line);
       machine_->irq().Mask(*line);
-      irq_latencies_.push_back(machine_->Now() - asserted);
     }
     x(h.spurious);
   }

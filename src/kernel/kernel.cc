@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/obs/trace_sink.h"
+
 namespace pmk {
 
 namespace {
@@ -542,6 +544,15 @@ OpStatus Kernel::Invoke(CapSlot* slot, const SyscallArgs& args) {
 KernelExit Kernel::Syscall(SysOp op, std::uint32_t cptr, const SyscallArgs& args) {
   const auto& e = b().sys;
   exec_.Begin(e.fn);
+  if (TraceSink* sink = exec_.trace_sink()) {
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSyscallOp;
+    ev.cycle = machine_->Now();
+    ev.name = SysOpName(op);
+    ev.id = static_cast<std::uint32_t>(op);
+    ev.arg0 = cptr;
+    sink->OnEvent(ev);
+  }
   x(e.save);
   T(current_->base, /*write=*/true);
   current_->last_error = KError::kOk;

@@ -42,6 +42,24 @@ enum class SysOp : std::uint8_t {
   kYield,
 };
 
+inline const char* SysOpName(SysOp op) {
+  switch (op) {
+    case SysOp::kCall:
+      return "Call";
+    case SysOp::kSend:
+      return "Send";
+    case SysOp::kRecv:
+      return "Recv";
+    case SysOp::kReplyRecv:
+      return "ReplyRecv";
+    case SysOp::kReply:
+      return "Reply";
+    case SysOp::kYield:
+      return "Yield";
+  }
+  return "?";
+}
+
 enum class InvLabel : std::uint8_t {
   kNone,
   kUntypedRetype,     // untyped cap: create objects (Section 3.5)

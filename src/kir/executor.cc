@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/trace_sink.h"
+
 namespace pmk {
 
 namespace {
@@ -67,6 +69,33 @@ void Executor::Begin(FuncId entry_func) {
     trace_.Clear();
     trace_.start_cycle = machine_->Now();
   }
+  if (sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kKernelEntry;
+    e.cycle = machine_->Now();
+    e.name = program_->function(entry_func).name.c_str();
+    e.id = entry_func;
+    sink_->OnEvent(e);
+  }
+}
+
+void Executor::OpenBlockWindow() {
+  blk_start_cycle_ = machine_->Now();
+  blk_start_imiss_ = machine_->counters().l1i_misses;
+  blk_start_dmiss_ = machine_->counters().l1d_misses;
+}
+
+void Executor::CloseBlockWindow() {
+  const Block& b = program_->block(cur_);
+  TraceEvent e;
+  e.kind = TraceEventKind::kBlockCost;
+  e.cycle = machine_->Now();
+  e.name = b.name.c_str();
+  e.id = cur_;
+  e.arg0 = machine_->Now() - blk_start_cycle_;
+  e.arg1 = machine_->counters().l1i_misses - blk_start_imiss_;
+  e.arg2 = machine_->counters().l1d_misses - blk_start_dmiss_;
+  sink_->OnEvent(e);
 }
 
 void Executor::LeaveCurrent() {
@@ -185,9 +214,34 @@ void Executor::At(BlockId bid) {
     }
   }
 
+  if (sink_ != nullptr && cur_ != kNoBlock) {
+    // The branch terminating the previous block has been charged above, so
+    // the closing window attributes it (plus any Touch costs) to that block.
+    CloseBlockWindow();
+    const Block& prev = program_->block(cur_);
+    if (prev.is_preemption_point && prev.succs.size() == 2 && bid == prev.succs[1]) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kPreemptPointTaken;
+      e.cycle = machine_->Now();
+      e.name = prev.name.c_str();
+      e.id = cur_;
+      sink_->OnEvent(e);
+    }
+  }
   cur_ = bid;
   if (recording_) {
     trace_.blocks.push_back(bid);
+  }
+  if (sink_ != nullptr) {
+    if (b.is_preemption_point) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kPreemptPointHit;
+      e.cycle = machine_->Now();
+      e.name = b.name.c_str();
+      e.id = bid;
+      sink_->OnEvent(e);
+    }
+    OpenBlockWindow();
   }
   ChargeBlock(b);
 }
@@ -234,6 +288,15 @@ void Executor::End() {
     Fail("End() with non-empty call stack");
   }
   LeaveCurrent();
+  if (sink_ != nullptr) {
+    CloseBlockWindow();
+    TraceEvent e;
+    e.kind = TraceEventKind::kKernelExit;
+    e.cycle = machine_->Now();
+    e.name = program_->function(entry_func_).name.c_str();
+    e.id = entry_func_;
+    sink_->OnEvent(e);
+  }
   in_path_ = false;
   cur_ = kNoBlock;
   if (recording_) {

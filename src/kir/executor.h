@@ -25,6 +25,8 @@
 
 namespace pmk {
 
+class TraceSink;
+
 class ExecError : public std::logic_error {
  public:
   explicit ExecError(const std::string& what) : std::logic_error(what) {}
@@ -61,12 +63,23 @@ class Executor {
   void StartRecording() { recording_ = true; }
   Trace StopRecording();
 
+  // Structured event tracing (src/obs): kernel entry/exit, per-block cycle
+  // and cache-miss attribution, preemption-point hit/taken events. A null
+  // sink (the default) reduces every instrumentation site to one pointer
+  // test; with or without a sink, no modelled cycles are charged.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* trace_sink() const { return sink_; }
+
   const Program& program() const { return *program_; }
   Machine& machine() { return *machine_; }
 
  private:
   void LeaveCurrent();
   void ChargeBlock(const Block& b);
+  // Emits the kBlockCost event for the block being left (cycles and misses
+  // accumulated since OpenBlockWindow) and re-snapshots the counters.
+  void CloseBlockWindow();
+  void OpenBlockWindow();
   [[noreturn]] void Fail(const std::string& msg) const;
 
   struct Frame {
@@ -88,6 +101,11 @@ class Executor {
 
   bool recording_ = false;
   Trace trace_;
+
+  TraceSink* sink_ = nullptr;
+  Cycles blk_start_cycle_ = 0;  // counter snapshot at current-block entry
+  std::uint64_t blk_start_imiss_ = 0;
+  std::uint64_t blk_start_dmiss_ = 0;
 };
 
 }  // namespace pmk

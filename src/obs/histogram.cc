@@ -1,0 +1,155 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace pmk {
+
+namespace {
+constexpr std::uint32_t kSubBuckets = 1u << LatencyHistogram::kSubBucketBits;  // 16
+}
+
+std::size_t LatencyHistogram::BucketIndex(Cycles v) {
+  if (v < kSubBuckets) {
+    return static_cast<std::size_t>(v);
+  }
+  // Normalize so (v >> shift) lands in [kSubBuckets, 2*kSubBuckets): one
+  // octave of 16 linear sub-buckets.
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - static_cast<int>(kSubBucketBits);
+  return (static_cast<std::size_t>(shift + 1) << kSubBucketBits) |
+         (static_cast<std::size_t>(v >> shift) & (kSubBuckets - 1));
+}
+
+Cycles LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const int shift = static_cast<int>(index >> kSubBucketBits) - 1;
+  const Cycles base = (Cycles{(index & (kSubBuckets - 1)) + kSubBuckets}) << shift;
+  return base + ((Cycles{1} << shift) - 1);
+}
+
+void LatencyHistogram::Record(Cycles value, std::uint64_t times) {
+  if (times == 0) {
+    return;
+  }
+  const std::size_t idx = BucketIndex(value);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1, 0);
+  }
+  buckets_[idx] += times;
+  count_ += times;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value) * static_cast<double>(times);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = ~Cycles{0};
+  max_ = 0;
+  sum_ = 0;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+Cycles LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+LatencyHistogram::Summary LatencyHistogram::Summarize() const {
+  Summary s;
+  s.count = count_;
+  s.min = min();
+  s.p50 = Percentile(50);
+  s.p90 = Percentile(90);
+  s.p99 = Percentile(99);
+  s.max = max_;
+  s.mean = Mean();
+  return s;
+}
+
+std::string LatencyHistogram::FormatSummary(const ClockSpec* clock) const {
+  const Summary s = Summarize();
+  char buf[192];
+  if (clock != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu  min=%.1fus  p50=%.1fus  p90=%.1fus  p99=%.1fus  max=%.1fus",
+                  static_cast<unsigned long long>(s.count), clock->ToMicros(s.min),
+                  clock->ToMicros(s.p50), clock->ToMicros(s.p90), clock->ToMicros(s.p99),
+                  clock->ToMicros(s.max));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu  min=%llu  p50=%llu  p90=%llu  p99=%llu  max=%llu (cycles)",
+                  static_cast<unsigned long long>(s.count),
+                  static_cast<unsigned long long>(s.min),
+                  static_cast<unsigned long long>(s.p50),
+                  static_cast<unsigned long long>(s.p90),
+                  static_cast<unsigned long long>(s.p99),
+                  static_cast<unsigned long long>(s.max));
+  }
+  return buf;
+}
+
+std::string LatencyHistogram::FormatAscii(int width) const {
+  std::string out;
+  if (count_ == 0) {
+    return "  (empty)\n";
+  }
+  std::uint64_t peak = 0;
+  for (const std::uint64_t b : buckets_) {
+    peak = std::max(peak, b);
+  }
+  char buf[192];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const int bar = static_cast<int>(static_cast<double>(buckets_[i]) /
+                                         static_cast<double>(peak) * width +
+                                     0.5);
+    std::snprintf(buf, sizeof(buf), "  <=%10llu  %8llu  |%s\n",
+                  static_cast<unsigned long long>(BucketUpperBound(i)),
+                  static_cast<unsigned long long>(buckets_[i]),
+                  std::string(static_cast<std::size_t>(std::max(bar, 1)), '#').c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace pmk

@@ -1,0 +1,50 @@
+// PMU facade: ARM1136-style event counters with snapshot/delta semantics.
+//
+// The paper measures with the ARM1136 performance monitoring unit: a cycle
+// counter plus two configurable event counters (cache misses, stalls,
+// mispredicts). The modelled machine keeps all interesting events counting
+// simultaneously in monotonic hardware counters (hw::Machine::counters());
+// this facade packages them into the snapshot/delta idiom of PMU-based
+// measurement: read CCNT and the event counters before and after a region,
+// subtract.
+//
+// Reading a snapshot charges no modelled cycles (a real PMU read costs a few
+// MCR instructions; the paper's measurements subtract that overhead out).
+
+#ifndef SRC_OBS_PMU_H_
+#define SRC_OBS_PMU_H_
+
+#include <string>
+
+#include "src/hw/machine.h"
+
+namespace pmk {
+
+struct PmuSnapshot {
+  Cycles cycles = 0;                    // CCNT
+  std::uint64_t instructions = 0;       // instructions executed
+  std::uint64_t l1i_accesses = 0;       // I-cache line lookups
+  std::uint64_t l1i_misses = 0;
+  std::uint64_t l1d_accesses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t l2_accesses = 0;        // L1-miss refills reaching the L2
+  std::uint64_t l2_misses = 0;
+  std::uint64_t branches = 0;           // charged branch events
+  std::uint64_t branch_mispredicts = 0;
+  std::uint64_t mem_stall_cycles = 0;   // cycles stalled on refills
+
+  // Counter-wise difference (this - earlier).
+  PmuSnapshot operator-(const PmuSnapshot& earlier) const;
+};
+
+// Reads all counters at once. Purely observational: no state change, no
+// modelled cost.
+PmuSnapshot ReadPmu(const Machine& machine);
+
+// Formats a delta as a small human-readable table body: one "name value"
+// line per counter, plus derived CPI and miss ratios.
+std::string FormatPmuDelta(const PmuSnapshot& delta, const ClockSpec& clock);
+
+}  // namespace pmk
+
+#endif  // SRC_OBS_PMU_H_

@@ -1,0 +1,89 @@
+// Structured kernel event tracing: the TraceSink interface.
+//
+// Producers (the kir executor, the kernel entry points, the interrupt
+// controller and the sim runner) emit TraceEvents through a nullable
+// TraceSink pointer. With no sink attached the instrumentation is a null
+// pointer test; in neither case does it charge modelled cycles — event
+// timestamps are read from the machine's cycle counter, never advanced by it,
+// the analogue of an on-chip trace unit (ETM) observing the PMU.
+//
+// This header is deliberately dependency-free (hw/cycles.h only) so that the
+// hardware layer can emit events without linking against the obs library.
+
+#ifndef SRC_OBS_TRACE_SINK_H_
+#define SRC_OBS_TRACE_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/cycles.h"
+
+namespace pmk {
+
+enum class TraceEventKind : std::uint8_t {
+  kKernelEntry,       // exception vector entered; name = entry function
+  kKernelExit,        // kernel path ended (back to user); name = entry function
+  kSyscallOp,         // syscall dispatch; name = op, id = op code
+  kBlockCost,         // one basic-block execution closed out; id = BlockId,
+                      // arg0 = cycles, arg1 = L1I misses, arg2 = L1D misses
+  kPreemptPointHit,   // a preemption-point block executed; id = BlockId
+  kPreemptPointTaken, // its preempted exit edge was followed; id = BlockId
+  kIrqAssert,         // interrupt line newly asserted; id = line
+  kIrqDeliver,        // kernel acknowledged the line; id = line,
+                      // arg0 = assert cycle, arg1 = response latency (cycles)
+  kUserCompute,       // a user compute burst completed; id = thread ordinal,
+                      // arg0 = burst cycles, arg1 = TCB address
+  kThreadSwitch,      // current thread changed; id = thread ordinal,
+                      // arg1 = TCB address (0 = idle)
+};
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kKernelEntry;
+  Cycles cycle = 0;           // machine cycle counter at the event
+  const char* name = nullptr; // static-lifetime label (block/function/op name)
+  std::uint32_t id = 0;       // kind-specific: block id, irq line, op, thread
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+// Records every event verbatim; the test and analysis workhorse.
+class EventLog : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+// Fans one producer out to several consumers (e.g. a Chrome-trace writer and
+// a block profiler observing the same run).
+class MultiSink : public TraceSink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void Add(TraceSink* sink) { sinks_.push_back(sink); }
+
+  void OnEvent(const TraceEvent& event) override {
+    for (TraceSink* s : sinks_) {
+      s->OnEvent(event);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_OBS_TRACE_SINK_H_

@@ -13,7 +13,11 @@ Cycles MeasureEntry(System& sys, const std::function<void()>& enter,
     }
     const Cycles t0 = sys.machine().Now();
     enter();
-    worst = std::max(worst, sys.machine().Now() - t0);
+    const Cycles d = sys.machine().Now() - t0;
+    worst = std::max(worst, d);
+    if (opts.histogram != nullptr) {
+      opts.histogram->Record(d);
+    }
     if (reset) {
       reset();
     }
@@ -31,7 +35,11 @@ Cycles MeasureIrqDelivery(System& sys, const MeasureOptions& opts) {
     sys.machine().irq().Assert(InterruptController::kTimerLine, sys.machine().Now());
     const Cycles t0 = sys.machine().Now();
     sys.kernel().HandleIrqEntry();
-    worst = std::max(worst, sys.machine().Now() - t0);
+    const Cycles d = sys.machine().Now() - t0;
+    worst = std::max(worst, d);
+    if (opts.histogram != nullptr) {
+      opts.histogram->Record(d);
+    }
   }
   return worst;
 }
@@ -65,6 +73,7 @@ LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
   res.total_cycles = sys.machine().Now() - t0;
   for (Cycles c : sys.kernel().irq_latencies()) {
     res.max_irq_latency = std::max(res.max_irq_latency, c);
+    res.irq_hist.Record(c);
   }
   return res;
 }

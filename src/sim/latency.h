@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/obs/histogram.h"
 #include "src/sim/workload.h"
 
 namespace pmk {
@@ -14,6 +15,9 @@ namespace pmk {
 struct MeasureOptions {
   bool pollute_caches = true;  // dirty caches before each run (Section 5.4)
   std::uint32_t runs = 1;      // take the max over this many runs
+  // Optional: record every run's duration, not just the max, so callers can
+  // report the full latency distribution (p50/p90/p99) alongside it.
+  LatencyHistogram* histogram = nullptr;
 };
 
 // Times one charged kernel entry under the given options. |enter| performs
@@ -35,6 +39,7 @@ struct LongOpResult {
   std::uint32_t preemptions = 0;
   Cycles max_irq_latency = 0;
   Cycles total_cycles = 0;
+  LatencyHistogram irq_hist;  // every observed interrupt response latency
 };
 LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
                                 const SyscallArgs& args, Cycles timer_period);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
+#include <ostream>
 
 namespace pmk {
 
@@ -40,6 +42,43 @@ void Table::Print() const {
   }
 }
 
+namespace {
+
+std::string CsvCell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  const auto print_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << CsvCell(row[c]);
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void Table::PrintCsv() const { PrintCsv(std::cout); }
+
 std::string Table::Us(double micros) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1f", micros);
@@ -67,6 +106,25 @@ std::string Table::Pct(double frac) {
 std::string Bar(double value, double max, int width) {
   const int n = max > 0 ? static_cast<int>(value / max * width + 0.5) : 0;
   return std::string(static_cast<std::size_t>(std::clamp(n, 0, width)), '#');
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FlagValue(int argc, char** argv, const std::string& prefix) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
 }
 
 }  // namespace pmk

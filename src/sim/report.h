@@ -6,6 +6,7 @@
 #define SRC_SIM_REPORT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,10 @@ class Table {
   void AddRow(std::vector<std::string> cells);
   // Prints to stdout with a separator under the header.
   void Print() const;
+  // RFC-4180-style CSV (header row first; cells containing comma, quote or
+  // newline are quoted). The bench binaries expose this via --csv.
+  void PrintCsv(std::ostream& os) const;
+  void PrintCsv() const;  // to stdout
 
   static std::string Us(double micros);          // "123.4"
   static std::string Cyc(std::uint64_t cycles);  // "123456"
@@ -31,6 +36,13 @@ class Table {
 
 // Horizontal ASCII bar: value scaled to |width| characters at |max|.
 std::string Bar(double value, double max, int width = 40);
+
+// Tiny argv helpers for the bench binaries' output flags.
+// True if |flag| (exact match, e.g. "--csv") appears in argv.
+bool HasFlag(int argc, char** argv, const std::string& flag);
+// Value of the first "--name=value" argument matching |prefix| (e.g.
+// "--trace-json="); empty string if absent.
+std::string FlagValue(int argc, char** argv, const std::string& prefix);
 
 }  // namespace pmk
 

@@ -1,5 +1,7 @@
 #include "src/sim/runner.h"
 
+#include "src/obs/trace_sink.h"
+
 namespace pmk {
 
 void Runner::SetProgram(TcbObj* t, std::vector<UserStep> program, bool loop) {
@@ -20,6 +22,30 @@ void Runner::DeliverIrq() {
   ReenableUnboundLines();
 }
 
+std::uint32_t Runner::ThreadOrdinal(const TcbObj* t) {
+  const auto [it, inserted] = ordinals_.emplace(t, static_cast<std::uint32_t>(ordinals_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void Runner::NoteCurrentThread() {
+  if (sink_ == nullptr) {
+    return;
+  }
+  const TcbObj* cur = sys_->kernel().current();
+  if (cur == last_traced_) {
+    return;
+  }
+  last_traced_ = cur;
+  TraceEvent ev;
+  ev.kind = TraceEventKind::kThreadSwitch;
+  ev.cycle = sys_->machine().Now();
+  ev.name = cur == sys_->kernel().idle() ? "idle" : "thread";
+  ev.id = ThreadOrdinal(cur);
+  ev.arg1 = cur == sys_->kernel().idle() ? 0 : cur->base;
+  sink_->OnEvent(ev);
+}
+
 void Runner::ReenableUnboundLines() {
   // The kernel masks a line when it services it; a bound line is re-enabled
   // by its handler's IRQAck. For unbound lines the runner plays the driver
@@ -38,6 +64,7 @@ std::uint64_t Runner::Run(Cycles duration) {
   std::uint64_t total_steps = 0;
 
   while (m.Now() < end) {
+    NoteCurrentThread();
     if (m.irq().AnyPending() && k.current() != k.idle()) {
       DeliverIrq();
       continue;
@@ -76,6 +103,16 @@ std::uint64_t Runner::Run(Cycles duration) {
     switch (step.kind) {
       case UserStep::Kind::kCompute:
         m.RawCycles(step.compute);
+        if (sink_ != nullptr) {
+          TraceEvent ev;
+          ev.kind = TraceEventKind::kUserCompute;
+          ev.cycle = m.Now();
+          ev.name = "compute";
+          ev.id = ThreadOrdinal(cur);
+          ev.arg0 = step.compute;
+          ev.arg1 = cur->base;
+          sink_->OnEvent(ev);
+        }
         p.pc++;
         p.completed++;
         total_steps++;

@@ -20,6 +20,8 @@
 
 namespace pmk {
 
+class TraceSink;
+
 struct UserStep {
   enum class Kind : std::uint8_t { kCompute, kSyscall };
   Kind kind = Kind::kCompute;
@@ -58,6 +60,11 @@ class Runner {
   // and its step index (before advancing).
   void SetStepHook(std::function<void(TcbObj*, std::size_t)> hook) { hook_ = std::move(hook); }
 
+  // Attaches a sink for user-side events: compute bursts (kUserCompute) and
+  // thread switches (kThreadSwitch). Kernel-side events come from
+  // System::AttachTraceSink; attach the same sink to both for a full trace.
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+
   // Runs the system for |duration| modelled cycles (approximately: the last
   // step may overshoot). Returns the number of steps completed.
   std::uint64_t Run(Cycles duration);
@@ -79,9 +86,17 @@ class Runner {
   // Re-enables serviced lines that have no handler endpoint bound.
   void ReenableUnboundLines();
 
+  // Stable small ordinal per TCB for trace track ids (assigned on first use).
+  std::uint32_t ThreadOrdinal(const TcbObj* t);
+  // Emits kThreadSwitch when the scheduled thread changed since last noted.
+  void NoteCurrentThread();
+
   System* sys_;
   std::map<const TcbObj*, ThreadProgram> programs_;
   std::function<void(TcbObj*, std::size_t)> hook_;
+  TraceSink* sink_ = nullptr;
+  std::map<const TcbObj*, std::uint32_t> ordinals_;
+  const TcbObj* last_traced_ = nullptr;
 };
 
 }  // namespace pmk

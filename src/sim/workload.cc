@@ -22,6 +22,11 @@ System::System(const KernelConfig& kc, const MachineConfig& mc)
   }
 }
 
+void System::AttachTraceSink(TraceSink* sink) {
+  kernel_->exec().set_trace_sink(sink);
+  machine_->irq().set_trace_sink(sink);
+}
+
 std::uint32_t System::AddCap(Cap cap, CapSlot* parent) {
   while (next_slot_ < root_->NumSlots() && !root_->slots[next_slot_].IsNull()) {
     next_slot_++;

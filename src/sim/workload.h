@@ -18,12 +18,20 @@
 
 namespace pmk {
 
+class TraceSink;
+
 class System {
  public:
   System(const KernelConfig& kernel_config, const MachineConfig& machine_config);
 
   Machine& machine() { return *machine_; }
   Kernel& kernel() { return *kernel_; }
+
+  // Attaches |sink| to every kernel-side event producer: the kir executor
+  // (entry/exit, block costs, preemption points) and the interrupt controller
+  // (IRQ assertions). Pass nullptr to detach. User-side events additionally
+  // need Runner::set_trace_sink.
+  void AttachTraceSink(TraceSink* sink);
 
   // Root CNode: one level consuming all 32 bits (guard 24 bits of zero +
   // 8-bit radix), so plain cptrs are slot indices and the fastpath applies.

@@ -86,6 +86,14 @@ Cycles WcetAnalyzer::EvaluateTrace(const Trace& trace) const {
   return EvaluateTraceCost(image_->prog, trace, cost_opts_);
 }
 
+std::vector<Cycles> WcetAnalyzer::PerBlockBounds() const {
+  std::vector<Cycles> bounds(image_->prog.num_blocks(), 0);
+  for (BlockId id = 0; id < bounds.size(); ++id) {
+    bounds[id] = BlockWorstCaseCost(image_->prog, id, cost_opts_);
+  }
+  return bounds;
+}
+
 Cycles WcetAnalyzer::InterruptResponseBound() const {
   Cycles longest = 0;
   for (EntryPoint e : {EntryPoint::kSyscall, EntryPoint::kUndefined, EntryPoint::kPageFault}) {

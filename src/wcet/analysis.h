@@ -58,6 +58,11 @@ class WcetAnalyzer {
   // path) (paper Section 6).
   Cycles InterruptResponseBound() const;
 
+  // Unconditional per-block cost ceilings (all non-pinned accesses miss),
+  // indexed by BlockId. Valid for any cache state; the block profiler checks
+  // observed per-execution costs against these.
+  std::vector<Cycles> PerBlockBounds() const;
+
   const CostModelOptions& cost_options() const { return cost_opts_; }
 
  private:

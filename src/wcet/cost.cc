@@ -287,6 +287,19 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
   return res;
 }
 
+Cycles BlockWorstCaseCost(const Program& p, BlockId id, const CostModelOptions& opts) {
+  const Block& b = p.block(id);
+  Cycles total = BaseCost(b, opts);
+  std::vector<Access> acc;
+  CollectAccesses(p, b, opts, acc);
+  for (const Access& a : acc) {
+    if (!IsPinned(opts, a)) {
+      total += opts.MissPenaltyFor(a.line);
+    }
+  }
+  return total;
+}
+
 Cycles EvaluateTraceCost(const Program& p, const Trace& trace, const CostModelOptions& opts) {
   AbstractState st(opts.way_bytes, opts.line_bytes);
   Cycles total = 0;

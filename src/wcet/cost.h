@@ -69,6 +69,14 @@ CostResult ComputeNodeCosts(const InlinedGraph& graph, const CostModelOptions& o
 Cycles EvaluateTraceCost(const Program& program, const Trace& trace,
                          const CostModelOptions& opts);
 
+// Unconditional per-execution ceiling for one block: every non-pinned access
+// is assumed to miss. Unlike must-cache node costs (which depend on the
+// abstract cache state reaching the node), this bound holds for ANY concrete
+// cache state, so profiled per-execution block costs can be checked against
+// it directly. Sound for the default (branch predictor disabled) machine
+// configuration, where a branch always charges opts.branch_cost.
+Cycles BlockWorstCaseCost(const Program& program, BlockId id, const CostModelOptions& opts);
+
 }  // namespace pmk
 
 #endif  // SRC_WCET_COST_H_
