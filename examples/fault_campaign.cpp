@@ -1,0 +1,121 @@
+// Fault-injection campaign driver.
+//
+// Runs the seeded adversarial campaign (exhaustive preemption-point sweeps,
+// random injection schedules, IRQ storms, hostile syscall inputs, spurious
+// acks) and prints a per-mode summary. Also demonstrates the shrinker: with
+// --demo-shrink a deliberately sabotaged run (an injection callback corrupts
+// an endpoint queue length) produces a failing schedule that is shrunk to a
+// minimal reproducer.
+//
+// Usage:
+//   fault_campaign [--seed=N] [--csv[=path]] [--quick] [--demo-shrink]
+//
+// The report for a fixed seed is byte-identical across runs: pipe --csv
+// output to a file and diff it to audit reproducibility.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/fault/campaign.h"
+#include "src/sim/report.h"
+
+namespace pmk {
+namespace {
+
+int DemoShrink() {
+  // Sabotage: on every injection, corrupt the endpoint queue-length counter
+  // of the first endpoint we can find through a sender. The invariant audit
+  // must catch it, and the shrinker must reduce a noisy 6-action schedule to
+  // a single action.
+  const OpFactory factory = MakeEpDeleteCase();
+  const auto sabotage = [](System& sys) {
+    for (const auto& [base, obj] : sys.kernel().objects().objects()) {
+      if (obj->type == ObjType::kEndpoint) {
+        static_cast<EndpointObj*>(obj.get())->q_len += 1;
+        return;
+      }
+    }
+  };
+
+  InjectionPlan noisy;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    InjectionAction a;
+    a.trigger = InjectionAction::Trigger::kPreemptOrdinal;
+    a.at = 3 + 5 * i;
+    a.line = 4 + static_cast<std::uint32_t>(i);
+    noisy.actions.push_back(a);
+  }
+
+  SweepOptions opts;
+  const RunRecord failing = RunWithPlan(factory, noisy, opts, sabotage);
+  std::printf("sabotaged run: plan=%s -> %s\n", failing.plan.c_str(),
+              failing.ok() ? "PASSED (unexpected!)" : failing.detail.c_str());
+  if (failing.ok()) {
+    return 1;
+  }
+  const InjectionPlan minimal = ShrinkPlan(factory, noisy, opts, sabotage);
+  std::printf("shrunk %zu actions -> %zu: %s\n", noisy.actions.size(), minimal.actions.size(),
+              minimal.ToString().c_str());
+  const RunRecord re = RunWithPlan(factory, minimal, opts, sabotage);
+  std::printf("minimal reproducer still fails: %s\n", re.ok() ? "NO (bug!)" : "yes");
+  return re.ok() ? 1 : 0;
+}
+
+int Main(int argc, char** argv) {
+  CampaignConfig cfg;
+  const std::string seed_str = FlagValue(argc, argv, "--seed=");
+  if (!seed_str.empty()) {
+    cfg.seed = std::stoull(seed_str);
+  }
+  if (HasFlag(argc, argv, "--quick")) {
+    cfg.random_runs = 8;
+    cfg.storm_runs = 2;
+    cfg.hostile_runs = 32;
+    cfg.spurious_runs = 4;
+  }
+  if (HasFlag(argc, argv, "--demo-shrink")) {
+    return DemoShrink();
+  }
+
+  const CampaignReport report = RunCampaign(cfg);
+
+  const std::string csv_path = FlagValue(argc, argv, "--csv=");
+  if (!csv_path.empty()) {
+    std::ofstream f(csv_path);
+    report.WriteCsv(f);
+  } else if (HasFlag(argc, argv, "--csv")) {
+    report.WriteCsv(std::cout);
+    return report.failures() == 0 ? 0 : 1;
+  }
+
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_mode;  // mode -> {runs, fail}
+  for (const ScenarioResult& r : report.results) {
+    auto& [runs, fails] = by_mode[r.mode];
+    ++runs;
+    if (!r.ok) {
+      ++fails;
+    }
+  }
+  std::printf("%s\n", report.Summary().c_str());
+  for (const auto& [mode, counts] : by_mode) {
+    std::printf("  %-11s %6llu scenarios, %llu failures\n", mode.c_str(),
+                static_cast<unsigned long long>(counts.first),
+                static_cast<unsigned long long>(counts.second));
+  }
+  for (const ScenarioResult& r : report.results) {
+    if (!r.ok) {
+      std::printf("  FAIL [%s/%s] plan=%s: %s\n", r.mode.c_str(), r.op.c_str(), r.plan.c_str(),
+                  r.detail.c_str());
+    }
+  }
+  return report.failures() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pmk
+
+int main(int argc, char** argv) { return pmk::Main(argc, argv); }

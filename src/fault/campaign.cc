@@ -1,0 +1,379 @@
+#include "src/fault/campaign.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "src/fault/rng.h"
+#include "src/kernel/error.h"
+#include "src/sim/runner.h"
+
+namespace pmk {
+
+namespace {
+
+// Keep CSV cells single-token: commas and newlines in failure details would
+// break the column structure (and with it byte-identical diffing).
+std::string Sanitize(std::string s) {
+  for (char& c : s) {
+    if (c == ',' || c == '\n' || c == '\r') {
+      c = ';';
+    }
+  }
+  return s;
+}
+
+ScenarioResult FromRun(const std::string& mode, const std::string& op, const RunRecord& rec) {
+  ScenarioResult r;
+  r.mode = mode;
+  r.op = op;
+  r.plan = rec.plan;
+  r.ok = rec.ok();
+  r.restarts = rec.restarts;
+  r.preempt_points = rec.preempt_points;
+  r.detail = Sanitize(rec.detail);
+  return r;
+}
+
+void RunExhaustive(const CampaignConfig& cfg, CampaignReport& report) {
+  for (const auto& [name, factory] : CanonicalOps()) {
+    const SweepResult sweep = ExhaustiveIrqSweep(factory, cfg.sweep);
+    report.results.push_back(FromRun("exhaustive", name + "/dry", sweep.dry_run));
+    for (const RunRecord& rec : sweep.runs) {
+      report.results.push_back(FromRun("exhaustive", name, rec));
+    }
+  }
+}
+
+void RunRandom(const CampaignConfig& cfg, CampaignReport& report) {
+  SplitMix64 rng(cfg.seed ^ 0xA5A5'0001ull);
+  for (const auto& [name, factory] : CanonicalOps()) {
+    const std::uint64_t pp = RunWithPlan(factory, InjectionPlan{}, cfg.sweep).preempt_points;
+    for (std::uint32_t r = 0; r < cfg.random_runs; ++r) {
+      InjectionPlan plan;
+      const std::uint64_t n_actions = 1 + rng.Below(3);
+      for (std::uint64_t i = 0; i < n_actions; ++i) {
+        InjectionAction a;
+        if (rng.Below(2) == 0 && pp > 0) {
+          a.trigger = InjectionAction::Trigger::kPreemptOrdinal;
+          a.at = rng.Below(pp);
+        } else {
+          a.trigger = InjectionAction::Trigger::kCycleAtLeast;
+          a.at = rng.Below(60'000);
+        }
+        a.line = 1 + static_cast<std::uint32_t>(rng.Below(20));
+        a.burst = 1 + static_cast<std::uint32_t>(rng.Below(4));
+        plan.actions.push_back(a);
+      }
+      report.results.push_back(FromRun("random", name, RunWithPlan(factory, plan, cfg.sweep)));
+    }
+  }
+}
+
+void RunStorm(const CampaignConfig& cfg, CampaignReport& report) {
+  SplitMix64 rng(cfg.seed ^ 0xA5A5'0002ull);
+  for (std::uint32_t run = 0; run < cfg.storm_runs; ++run) {
+    System sys(KernelConfig::After(), EvalMachine(false));
+    const std::uint32_t ut_cptr = sys.AddUntyped(16, nullptr);
+    // Equal priorities: Yield round-robins all three under the storm.
+    TcbObj* a = sys.AddThread(30);
+    TcbObj* b = sys.AddThread(30);
+    TcbObj* c = sys.AddThread(30);
+    sys.kernel().DirectSetCurrent(a);
+
+    Runner runner(&sys);
+    runner.SetProgram(a, {UserStep::Compute(400), UserStep::Syscall(SysOp::kYield, 0)});
+    runner.SetProgram(b, {UserStep::Compute(700), UserStep::Syscall(SysOp::kYield, 0)});
+    // c retypes repeatedly: the first iteration exercises the preemptible
+    // clear under storm, later ones fail fast on the occupied slot.
+    SyscallArgs retype;
+    retype.label = InvLabel::kUntypedRetype;
+    retype.obj_type = ObjType::kFrame;
+    retype.obj_bits = 15;
+    retype.dest_index = 90;
+    runner.SetProgram(c, {UserStep::Compute(300), UserStep::Syscall(SysOp::kCall, ut_cptr, retype)});
+
+    runner.SetDisturbance([&rng, &sys](Cycles now) {
+      if (rng.Below(100) < 25) {
+        // Bursty multi-line assertion.
+        const std::uint32_t first = 1 + static_cast<std::uint32_t>(rng.Below(20));
+        const std::uint32_t burst = 1 + static_cast<std::uint32_t>(rng.Below(6));
+        for (std::uint32_t i = 0; i < burst; ++i) {
+          sys.machine().irq().Assert((first + i) % InterruptController::kNumLines, now);
+        }
+      }
+      if (rng.Below(100) < 15) {
+        // Misbehaving driver: acknowledge a line it does not own — usually
+        // never-asserted, occasionally racing a real pending assertion.
+        sys.machine().irq().Acknowledge(1 + static_cast<std::uint32_t>(rng.Below(20)));
+      }
+    });
+
+    ScenarioResult res;
+    res.mode = "storm";
+    res.op = "runner";
+    res.plan = "storm#" + std::to_string(run);
+    std::uint64_t steps = 0;
+    try {
+      steps = runner.Run(150'000);
+      sys.kernel().CheckInvariants();
+      res.ok = steps > 0;
+      if (!res.ok) {
+        res.detail = "no userland progress under storm";
+      }
+    } catch (const std::exception& ex) {
+      res.ok = false;
+      res.detail = Sanitize(ex.what());
+    }
+    res.spurious_acks = sys.machine().irq().spurious_acks();
+    res.coalesced = sys.machine().irq().coalesced_asserts();
+    report.results.push_back(res);
+  }
+}
+
+void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
+  SplitMix64 rng(cfg.seed ^ 0xA5A5'0003ull);
+  System sys(KernelConfig::After(), EvalMachine(false));
+  EndpointObj* ep = nullptr;
+  const std::uint32_t ep_cptr = sys.AddEndpoint(&ep);
+  const std::uint32_t ut_cptr = sys.AddUntyped(19, nullptr);
+  Cap root_cap;
+  root_cap.type = ObjType::kCNode;
+  root_cap.obj = sys.root()->base;
+  const std::uint32_t cnode_cptr = sys.AddCap(root_cap);
+  TcbObj* actor = sys.AddThread(50);
+  TcbObj* deep_actor = sys.AddThread(50);
+  const std::uint32_t deep_cptr =
+      sys.BuildDeepCapSpace(deep_actor, sys.SlotOf(ep_cptr)->cap, 32);
+  sys.kernel().DirectSetCurrent(actor);
+
+  for (std::uint32_t run = 0; run < cfg.hostile_runs; ++run) {
+    SyscallArgs args;
+    std::uint32_t cptr = ep_cptr;
+    std::string kind;
+    bool deep = false;
+    switch (rng.Below(8)) {
+      case 0:
+        kind = "huge-msg-len";
+        args.msg_len = 65 + static_cast<std::uint32_t>(rng.Below(1u << 20));
+        break;
+      case 1:
+        kind = "huge-n-extra";
+        args.msg_len = static_cast<std::uint32_t>(rng.Below(65));
+        args.n_extra = 4 + static_cast<std::uint32_t>(rng.Below(1000));
+        break;
+      case 2:
+        kind = "huge-obj-bits";
+        cptr = ut_cptr;
+        args.label = InvLabel::kUntypedRetype;
+        args.obj_type = ObjType::kFrame;
+        args.obj_bits = static_cast<std::uint8_t>(20 + rng.Below(236));
+        args.dest_index = 1000 + static_cast<std::uint32_t>(rng.Below(1u << 20));
+        break;
+      case 3:
+        kind = "huge-obj-count";
+        cptr = ut_cptr;
+        args.label = InvLabel::kUntypedRetype;
+        args.obj_type = ObjType::kEndpoint;
+        args.obj_count = 9 + static_cast<std::uint32_t>(rng.Below(1u << 20));
+        args.dest_index = 120;
+        break;
+      case 4:
+        kind = "delete-oob-index";
+        cptr = cnode_cptr;
+        args.label = InvLabel::kCNodeDelete;
+        args.arg0 = 256 + rng.Below(1u << 24);
+        break;
+      case 5:
+        kind = "revoke-oob-index";
+        cptr = cnode_cptr;
+        args.label = InvLabel::kCNodeRevoke;
+        args.arg0 = 256 + rng.Below(1u << 24);
+        break;
+      case 6:
+        // Guard mismatch in the one-level root cspace: the top 24 bits must
+        // be zero, so this cptr always fails decode (never a stray send).
+        kind = "garbage-cptr";
+        cptr = 0xFF00'0000u | static_cast<std::uint32_t>(rng.Below(1u << 24));
+        break;
+      default:
+        // One bit flipped somewhere along a 32-level decode chain: the walk
+        // diverges from the installed path and dies mid-depth.
+        kind = "deep-decode-miss";
+        deep = true;
+        cptr = deep_cptr ^ (1u << rng.Below(32));
+        break;
+    }
+
+    ScenarioResult res;
+    res.mode = "hostile";
+    res.op = kind;
+    res.plan = "h#" + std::to_string(run);
+    if (deep) {
+      sys.kernel().DirectSetCurrent(deep_actor);
+    }
+    try {
+      sys.kernel().Syscall(SysOp::kCall, cptr, args);
+      sys.kernel().CheckInvariants();
+      const KError err = (deep ? deep_actor : actor)->last_error;
+      res.ok = err != KError::kOk;
+      if (!res.ok) {
+        res.detail = "hostile input reported success";
+      }
+    } catch (const std::exception& ex) {
+      // Any escaping exception — ExecError, KernelError or a bare assert
+      // surrogate — means the malformed input crossed the structured-error
+      // boundary: a defect by definition in this mode.
+      res.ok = false;
+      res.detail = Sanitize(ex.what());
+    }
+    if (deep) {
+      sys.kernel().DirectSetCurrent(actor);
+    }
+    report.results.push_back(res);
+  }
+}
+
+void RunSpurious(const CampaignConfig& cfg, CampaignReport& report) {
+  SplitMix64 rng(cfg.seed ^ 0xA5A5'0004ull);
+  for (std::uint32_t run = 0; run < cfg.spurious_runs; ++run) {
+    // Property test of the controller against a shadow model: interleaved
+    // asserts, spurious acks, masks. Acknowledge must return the first
+    // assertion time iff the line was pending, nullopt otherwise.
+    InterruptController ic;
+    std::array<bool, InterruptController::kNumLines> shadow_pending{};
+    std::array<Cycles, InterruptController::kNumLines> shadow_time{};
+    std::uint64_t expected_spurious = 0;
+    std::uint64_t expected_coalesced = 0;
+    ScenarioResult res;
+    res.mode = "spurious";
+    res.op = "controller";
+    res.plan = "sp#" + std::to_string(run);
+    res.ok = true;
+    Cycles now = 0;
+    for (std::uint32_t step = 0; step < 200 && res.ok; ++step) {
+      now += 1 + rng.Below(50);
+      const std::uint32_t line = static_cast<std::uint32_t>(rng.Below(InterruptController::kNumLines));
+      switch (rng.Below(3)) {
+        case 0:
+          ic.Assert(line, now);
+          if (shadow_pending[line]) {
+            ++expected_coalesced;
+          } else {
+            shadow_pending[line] = true;
+            shadow_time[line] = now;
+          }
+          break;
+        case 1: {
+          const auto got = ic.Acknowledge(line);
+          if (shadow_pending[line]) {
+            if (!got.has_value() || *got != shadow_time[line]) {
+              res.ok = false;
+              res.detail = "ack of pending line returned wrong assert time";
+            }
+            shadow_pending[line] = false;
+          } else {
+            ++expected_spurious;
+            if (got.has_value()) {
+              res.ok = false;
+              res.detail = "spurious ack returned a value";
+            }
+          }
+          break;
+        }
+        default:
+          if (ic.IsPending(line) != shadow_pending[line]) {
+            res.ok = false;
+            res.detail = "pending state diverged from model";
+          }
+          break;
+      }
+    }
+    if (res.ok && (ic.spurious_acks() != expected_spurious ||
+                   ic.coalesced_asserts() != expected_coalesced)) {
+      res.ok = false;
+      res.detail = "spurious/coalesce counters diverged from model";
+    }
+    res.spurious_acks = ic.spurious_acks();
+    res.coalesced = ic.coalesced_asserts();
+    report.results.push_back(res);
+  }
+
+  // One kernel-level spurious entry: an IRQ kernel entry with nothing
+  // pending must take the h.spurious path and leave the kernel consistent.
+  ScenarioResult res;
+  res.mode = "spurious";
+  res.op = "kernel-entry";
+  res.plan = "sp#kernel";
+  try {
+    System sys(KernelConfig::After(), EvalMachine(false));
+    TcbObj* t = sys.AddThread(10);
+    sys.kernel().DirectSetCurrent(t);
+    sys.kernel().HandleIrqEntry();
+    sys.kernel().CheckInvariants();
+    res.ok = true;
+  } catch (const std::exception& ex) {
+    res.ok = false;
+    res.detail = Sanitize(ex.what());
+  }
+  report.results.push_back(res);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, OpFactory>> CanonicalOps() {
+  std::vector<std::pair<std::string, OpFactory>> ops;
+  ops.emplace_back("retype", MakeRetypeCase());
+  ops.emplace_back("ep-delete", MakeEpDeleteCase());
+  ops.emplace_back("badged-abort", MakeBadgedAbortCase());
+  return ops;
+}
+
+std::uint64_t CampaignReport::failures() const {
+  std::uint64_t n = 0;
+  for (const ScenarioResult& r : results) {
+    if (!r.ok) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void CampaignReport::WriteCsv(std::ostream& os) const {
+  os << "mode,op,plan,ok,restarts,preempt_points,spurious_acks,coalesced,detail\n";
+  for (const ScenarioResult& r : results) {
+    os << r.mode << ',' << r.op << ',' << r.plan << ',' << (r.ok ? 1 : 0) << ',' << r.restarts
+       << ',' << r.preempt_points << ',' << r.spurious_acks << ',' << r.coalesced << ','
+       << r.detail << '\n';
+  }
+}
+
+std::string CampaignReport::Summary() const {
+  std::ostringstream os;
+  os << "fault campaign seed=" << seed << ": " << results.size() << " scenarios, " << failures()
+     << " failures";
+  return os.str();
+}
+
+CampaignReport RunCampaign(const CampaignConfig& config) {
+  CampaignReport report;
+  report.seed = config.seed;
+  if (config.exhaustive) {
+    RunExhaustive(config, report);
+  }
+  if (config.random_runs > 0) {
+    RunRandom(config, report);
+  }
+  if (config.storm_runs > 0) {
+    RunStorm(config, report);
+  }
+  if (config.hostile_runs > 0) {
+    RunHostile(config, report);
+  }
+  if (config.spurious_runs > 0) {
+    RunSpurious(config, report);
+  }
+  return report;
+}
+
+}  // namespace pmk

@@ -1,0 +1,70 @@
+// Seeded fault campaign: thousands of deterministic adversarial scenarios.
+//
+// Five modes, all driven by one SplitMix64 seed:
+//   exhaustive  one run per preemption-point boundary of each canonical
+//               long-running operation (the tentpole sweep)
+//   random      seeded plans mixing preempt-ordinal and cycle-offset
+//               injections, bursts included
+//   storm       Runner-driven workload under a device-side IRQ storm with
+//               interleaved spurious acknowledges
+//   hostile     malformed syscall arguments, out-of-range indices and
+//               depth-exhausted capability decodes — must surface as
+//               structured in-kernel errors, never as host exceptions
+//   spurious    controller-level spurious-ack and coalescing semantics
+//
+// The report is a plain table with a stable ordering and no pointers or
+// wall-clock values: identical seeds produce byte-identical CSV output.
+
+#ifndef SRC_FAULT_CAMPAIGN_H_
+#define SRC_FAULT_CAMPAIGN_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fault/scenario.h"
+
+namespace pmk {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  bool exhaustive = true;
+  std::uint32_t random_runs = 32;    // per canonical operation
+  std::uint32_t storm_runs = 4;
+  std::uint32_t hostile_runs = 128;  // hostile syscalls (one shared system)
+  std::uint32_t spurious_runs = 16;
+  SweepOptions sweep;
+};
+
+struct ScenarioResult {
+  std::string mode;
+  std::string op;
+  std::string plan;
+  bool ok = false;
+  std::uint32_t restarts = 0;
+  std::uint64_t preempt_points = 0;
+  std::uint64_t spurious_acks = 0;
+  std::uint64_t coalesced = 0;
+  std::string detail;
+};
+
+struct CampaignReport {
+  std::uint64_t seed = 0;
+  std::vector<ScenarioResult> results;
+
+  std::uint64_t failures() const;
+  // Stable CSV: header + one row per scenario, in execution order.
+  void WriteCsv(std::ostream& os) const;
+  std::string Summary() const;
+};
+
+// The three canonical long-running operations by name, in report order.
+std::vector<std::pair<std::string, OpFactory>> CanonicalOps();
+
+CampaignReport RunCampaign(const CampaignConfig& config);
+
+}  // namespace pmk
+
+#endif  // SRC_FAULT_CAMPAIGN_H_

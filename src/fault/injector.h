@@ -1,0 +1,95 @@
+// Deterministic IRQ fault injector.
+//
+// A FaultInjector is a kir::FaultHook that asserts interrupt lines at exactly
+// specified points of a kernel execution: either at the Nth preemption-point
+// block the executor announces (kPreemptOrdinal — the adversarial placement
+// the paper's incremental-consistency argument must survive) or at the first
+// block boundary at or after a given machine cycle (kCycleAtLeast — the
+// seeded-random offset mode). Asserting from the hook costs zero modelled
+// cycles and lands before the kernel's PreemptPending() check for that block,
+// so a kPreemptOrdinal action models an interrupt arriving precisely at that
+// preemption-point boundary.
+
+#ifndef SRC_FAULT_INJECTOR_H_
+#define SRC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/kir/executor.h"
+
+namespace pmk {
+
+class TraceSink;
+
+struct InjectionAction {
+  enum class Trigger : std::uint8_t {
+    kPreemptOrdinal,  // fire at the |at|-th preemption-point block (0-based)
+    kCycleAtLeast,    // fire at the first block once Now() >= |at|
+  };
+  Trigger trigger = Trigger::kPreemptOrdinal;
+  std::uint64_t at = 0;
+  std::uint32_t line = 1;   // first line asserted (avoid 0: the timer line)
+  std::uint32_t burst = 1;  // lines |line| .. |line|+burst-1 (mod kNumLines)
+};
+
+struct InjectionPlan {
+  std::vector<InjectionAction> actions;
+
+  // Stable, human-readable encoding, e.g. "pp@3:l5" or "cyc@1200:l7x4".
+  // Used as the scenario key in campaign reports; must not depend on
+  // pointers, timestamps or platform formatting.
+  std::string ToString() const;
+
+  // Total lines the plan can assert (sum of bursts): the restart bound a
+  // correct kernel must respect, since each serviced line preempts at most
+  // one restartable operation run.
+  std::uint64_t TotalLines() const;
+};
+
+class FaultInjector : public FaultHook {
+ public:
+  explicit FaultInjector(Machine* machine) : machine_(machine) {}
+
+  // Installs |plan| and resets all counters/firing state.
+  void SetPlan(InjectionPlan plan);
+  const InjectionPlan& plan() const { return plan_; }
+
+  // Sabotage callback, invoked after each action fires. Tests use this to
+  // corrupt kernel state at an exact injection point (the deliberately seeded
+  // invariant bug of the acceptance criteria).
+  void set_on_inject(std::function<void(const InjectionAction&)> cb) {
+    on_inject_ = std::move(cb);
+  }
+
+  // Emits kFaultInject events for fired actions (optional).
+  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+
+  // FaultHook: called by the executor for every announced block.
+  void OnBlock(BlockId b, bool is_preemption_point) override;
+
+  // Preemption-point blocks announced since SetPlan (across restarts).
+  std::uint64_t preempt_points_seen() const { return preempt_points_seen_; }
+  // Actions fired / lines actually asserted so far.
+  std::uint32_t actions_fired() const { return actions_fired_; }
+  std::uint64_t lines_asserted() const { return lines_asserted_; }
+
+ private:
+  void Fire(const InjectionAction& a);
+
+  Machine* machine_;
+  InjectionPlan plan_;
+  std::vector<bool> fired_;
+  std::uint64_t preempt_points_seen_ = 0;
+  std::uint32_t actions_fired_ = 0;
+  std::uint64_t lines_asserted_ = 0;
+  std::function<void(const InjectionAction&)> on_inject_;
+  TraceSink* sink_ = nullptr;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_FAULT_INJECTOR_H_

@@ -1,0 +1,39 @@
+// Deterministic PRNG for fault campaigns.
+//
+// SplitMix64 (Steele/Lea/Flood): 64-bit state, one multiply-xorshift round
+// per draw. Chosen over std::mt19937 because its output sequence is fixed by
+// the algorithm itself, not by library implementation details — the campaign
+// report for a given seed must be byte-identical across standard libraries
+// and platforms.
+
+#ifndef SRC_FAULT_RNG_H_
+#define SRC_FAULT_RNG_H_
+
+#include <cstdint>
+
+namespace pmk {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform draw in [0, bound). |bound| must be nonzero. The modulo bias is
+  // ~bound/2^64 — irrelevant for scheduling fuzz, and keeping the draw a
+  // single Next() call makes the consumed-stream position easy to reason
+  // about when reproducing a scenario by hand.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_FAULT_RNG_H_

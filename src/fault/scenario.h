@@ -1,0 +1,111 @@
+// Adversarial scenarios: one long-running kernel operation under injected
+// interrupts, with the whole-kernel invariants audited at every kernel exit
+// and the restart count bounded by the number of injected lines (the
+// progress audit — a preempted restartable operation must not be restartable
+// forever).
+//
+// A scenario is produced by an OpFactory: a callable that builds a FRESH
+// System plus the operation to drive against it. Fresh state per run is what
+// makes runs independent and seeds reproducible; factories must be pure
+// (no shared mutable state between invocations).
+
+#ifndef SRC_FAULT_SCENARIO_H_
+#define SRC_FAULT_SCENARIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/injector.h"
+#include "src/sim/workload.h"
+
+namespace pmk {
+
+// One operation instance against a fresh system.
+struct OpInstance {
+  std::unique_ptr<System> sys;
+  SysOp op = SysOp::kCall;
+  std::uint32_t cptr = 0;
+  SyscallArgs args;
+  TcbObj* actor = nullptr;  // the thread issuing the operation
+
+  // Called after every preempted exit, before the restart — scenarios use it
+  // to model hostile concurrency (e.g. new senders arriving mid-abort).
+  std::function<void(System&)> on_preempted;
+  // Called once the operation completes; throws (std::logic_error) if the
+  // operation's own post-conditions do not hold.
+  std::function<void(System&)> check_done;
+};
+
+using OpFactory = std::function<OpInstance()>;
+
+struct SweepOptions {
+  std::uint32_t line = 5;           // unbound device line asserted by default
+  std::uint32_t restart_slack = 4;  // allowed restarts beyond injected lines
+};
+
+// Outcome of driving one operation under one injection plan.
+struct RunRecord {
+  std::string plan;  // InjectionPlan::ToString()
+  bool completed = false;
+  bool invariant_violation = false;  // CheckInvariants or check_done failed
+  bool exec_error = false;           // CFG divergence (host-level bug)
+  bool kernel_error = false;         // structured KernelError escaped
+  bool restart_overrun = false;      // progress audit failed
+  std::uint32_t restarts = 0;
+  std::uint32_t actions_fired = 0;
+  std::uint64_t lines_asserted = 0;
+  std::uint64_t preempt_points = 0;  // pp blocks seen across all restarts
+  Cycles max_irq_latency = 0;        // worst assert->service latency observed
+  std::string detail;                // first failure message
+
+  bool ok() const {
+    return completed && !invariant_violation && !exec_error && !kernel_error && !restart_overrun;
+  }
+};
+
+// Drives factory()'s operation to completion under |plan|. After every kernel
+// exit (completed or preempted) CheckInvariants() runs; after every preempted
+// exit the plan's lines are re-enabled (the kernel masks serviced unbound
+// lines) and on_preempted fires. |sabotage|, if set, is forwarded to the
+// injector's on_inject hook.
+RunRecord RunWithPlan(const OpFactory& factory, const InjectionPlan& plan,
+                      const SweepOptions& opts,
+                      const std::function<void(System&)>& sabotage = nullptr);
+
+struct SweepResult {
+  std::uint64_t preempt_points = 0;  // from the injection-free dry run
+  RunRecord dry_run;
+  std::vector<RunRecord> runs;  // runs[k] injected at preemption ordinal k
+
+  bool AllOk() const;
+  std::uint32_t MaxRestarts() const;
+};
+
+// The tentpole sweep: a dry run counts the P preemption-point boundaries the
+// operation crosses, then P independent runs each assert an interrupt at
+// exactly one boundary. Every run audits invariants and restart bounds.
+SweepResult ExhaustiveIrqSweep(const OpFactory& factory, const SweepOptions& opts);
+
+// Greedy subset minimisation: repeatedly drops actions whose removal keeps
+// the plan failing, until no single removal preserves the failure. The result
+// is subset-minimal (removing ANY remaining action makes the run pass) and
+// deterministic. |sabotage| must match what made |failing| fail.
+InjectionPlan ShrinkPlan(const OpFactory& factory, const InjectionPlan& failing,
+                         const SweepOptions& opts,
+                         const std::function<void(System&)>& sabotage = nullptr);
+
+// Canonical long-running operations (paper Sections 3.3-3.5), each with >= a
+// handful of preemption points (under the default "after" kernel) and
+// self-checking post-conditions. The config parameter lets ablation
+// benchmarks run the same scenarios against the non-preemptible "before"
+// kernel, where the sweep degenerates to the dry run.
+OpFactory MakeRetypeCase(const KernelConfig& kc = KernelConfig::After());
+OpFactory MakeEpDeleteCase(const KernelConfig& kc = KernelConfig::After());
+OpFactory MakeBadgedAbortCase(const KernelConfig& kc = KernelConfig::After());
+
+}  // namespace pmk
+
+#endif  // SRC_FAULT_SCENARIO_H_

@@ -9,6 +9,16 @@ namespace pmk {
 void InterruptController::Assert(std::uint32_t line, Cycles now) {
   assert(line < kNumLines);
   if (pending_[line]) {
+    ++coalesced_asserts_;
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kIrqCoalesced;
+      e.cycle = now;
+      e.name = "irq";
+      e.id = line;
+      e.arg0 = assert_time_[line];  // the surviving (first) assertion time
+      sink_->OnEvent(e);
+    }
     return;
   }
   pending_[line] = true;
@@ -41,9 +51,20 @@ std::optional<std::uint32_t> InterruptController::PendingLine() const {
   return std::nullopt;
 }
 
-Cycles InterruptController::Acknowledge(std::uint32_t line) {
+std::optional<Cycles> InterruptController::Acknowledge(std::uint32_t line) {
   assert(line < kNumLines);
-  assert(pending_[line]);
+  if (!pending_[line]) {
+    ++spurious_acks_;
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kIrqSpuriousAck;
+      e.cycle = assert_time_[line];  // best-effort context; line is idle
+      e.name = "irq";
+      e.id = line;
+      sink_->OnEvent(e);
+    }
+    return std::nullopt;
+  }
   pending_[line] = false;
   return assert_time_[line];
 }
@@ -72,6 +93,8 @@ void InterruptController::Reset() {
   pending_.fill(false);
   masked_.fill(false);
   assert_time_.fill(0);
+  spurious_acks_ = 0;
+  coalesced_asserts_ = 0;
 }
 
 void IntervalTimer::Tick(Cycles now) {

@@ -24,9 +24,11 @@ class InterruptController {
   static constexpr std::uint32_t kNumLines = 32;
   static constexpr std::uint32_t kTimerLine = 0;
 
-  // Asserts |line| at time |now|. Re-asserting a pending line is a no-op (the
-  // original assertion time is kept: response time is measured from the first
-  // unserviced assertion).
+  // Asserts |line| at time |now|. Re-asserting a pending line coalesces: the
+  // original assertion time is kept (response time is measured from the first
+  // unserviced assertion) and coalesced_asserts() is bumped. Hardware with an
+  // edge-triggered pending latch behaves the same way — the second edge is
+  // absorbed into the already-pending state.
   void Assert(std::uint32_t line, Cycles now);
 
   // True if any unmasked line is pending.
@@ -35,8 +37,13 @@ class InterruptController {
   // Highest-priority (lowest-numbered) pending unmasked line, if any.
   std::optional<std::uint32_t> PendingLine() const;
 
-  // Acknowledges |line|: clears pending, returns the cycle it was asserted.
-  Cycles Acknowledge(std::uint32_t line);
+  // Acknowledges |line|. If the line is pending, clears it and returns the
+  // cycle it was asserted. Acknowledging a line that is NOT pending is a
+  // *spurious ack*: the controller absorbs it (no state change), returns
+  // std::nullopt, bumps spurious_acks() and emits a kIrqSpuriousAck trace
+  // event. Real controllers see these from races between a device de-assert
+  // and the handler's EOI write; drivers must tolerate them.
+  std::optional<Cycles> Acknowledge(std::uint32_t line);
 
   void Mask(std::uint32_t line);
   void Unmask(std::uint32_t line);
@@ -45,8 +52,13 @@ class InterruptController {
 
   void Reset();
 
-  // Optional observability sink: a fresh assertion (not a re-assert of a
-  // pending line) emits a kIrqAssert event. Purely observational.
+  // Storm/robustness accounting (monotonic since construction or Reset()).
+  std::uint64_t spurious_acks() const { return spurious_acks_; }
+  std::uint64_t coalesced_asserts() const { return coalesced_asserts_; }
+
+  // Optional observability sink: a fresh assertion emits kIrqAssert, a
+  // re-assert of a pending line emits kIrqCoalesced, a spurious ack emits
+  // kIrqSpuriousAck. Purely observational.
   void set_trace_sink(TraceSink* sink) { sink_ = sink; }
   TraceSink* trace_sink() const { return sink_; }
 
@@ -54,6 +66,8 @@ class InterruptController {
   std::array<bool, kNumLines> pending_{};
   std::array<bool, kNumLines> masked_{};
   std::array<Cycles, kNumLines> assert_time_{};
+  std::uint64_t spurious_acks_ = 0;
+  std::uint64_t coalesced_asserts_ = 0;
   TraceSink* sink_ = nullptr;
 };
 

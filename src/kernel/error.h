@@ -1,0 +1,66 @@
+// Structured kernel faults.
+//
+// The Direct* construction helpers and other modelled-kernel code paths used
+// to signal misuse with a mix of bare std::runtime_error / std::logic_error.
+// Harness code (and especially the fault-injection campaign, src/fault/)
+// needs to distinguish a *modelled* kernel fault — the kernel correctly
+// rejecting a hostile or impossible request — from a host-level bug in the
+// reproduction itself (ExecError, failed invariant, ...). KernelError carries
+// a machine-readable fault code for that purpose.
+//
+// KernelError derives from std::runtime_error so existing catch sites keep
+// working; new code should catch KernelError and switch on fault().
+
+#ifndef SRC_KERNEL_ERROR_H_
+#define SRC_KERNEL_ERROR_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace pmk {
+
+enum class KernelFault : std::uint8_t {
+  kOutOfPhysicalMemory,  // DirectAlloc exhausted the modelled board RAM
+  kCapIndexOutOfRange,   // DirectCap index beyond the CNode's slots
+  kCapSlotOccupied,      // DirectCap into a non-null slot
+  kBadDirectMapping,     // DirectMapPageTable/DirectMapFrame misuse
+  kNoAsidPool,           // DirectAssignAsid with no registered pool
+  kAsidPoolExhausted,    // DirectAssignAsid found no free ASID
+  kBadIrqLine,           // interrupt line outside the controller's range
+};
+
+inline const char* KernelFaultName(KernelFault f) {
+  switch (f) {
+    case KernelFault::kOutOfPhysicalMemory:
+      return "OutOfPhysicalMemory";
+    case KernelFault::kCapIndexOutOfRange:
+      return "CapIndexOutOfRange";
+    case KernelFault::kCapSlotOccupied:
+      return "CapSlotOccupied";
+    case KernelFault::kBadDirectMapping:
+      return "BadDirectMapping";
+    case KernelFault::kNoAsidPool:
+      return "NoAsidPool";
+    case KernelFault::kAsidPoolExhausted:
+      return "AsidPoolExhausted";
+    case KernelFault::kBadIrqLine:
+      return "BadIrqLine";
+  }
+  return "?";
+}
+
+class KernelError : public std::runtime_error {
+ public:
+  KernelError(KernelFault fault, const std::string& detail)
+      : std::runtime_error(std::string(KernelFaultName(fault)) + ": " + detail),
+        fault_(fault) {}
+
+  KernelFault fault() const { return fault_; }
+
+ private:
+  KernelFault fault_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_KERNEL_ERROR_H_

@@ -321,7 +321,9 @@ void Kernel::HandleInterruptImpl() {
   // max-only kernel log and (when a sink is attached) as a kIrqDeliver event
   // paired with the controller's kIrqAssert.
   const auto ack = [&](std::uint32_t ln) {
-    const Cycles asserted = machine_->irq().Acknowledge(ln);
+    // |ln| came from PendingLine() this entry, so the ack cannot be spurious;
+    // value_or keeps the latency well-defined even if a model bug breaks that.
+    const Cycles asserted = machine_->irq().Acknowledge(ln).value_or(machine_->Now());
     const Cycles latency = machine_->Now() - asserted;
     irq_latencies_.push_back(latency);
     if (TraceSink* sink = exec_.trace_sink()) {

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "src/kernel/error.h"
 #include "src/obs/trace_sink.h"
 
 namespace pmk {
@@ -36,7 +37,8 @@ Kernel::Kernel(const KernelConfig& config, Machine* machine)
 Addr Kernel::DirectAlloc(std::uint64_t size) {
   Addr a = AlignUp(alloc_next_, size);
   if (a + size > kUserMemEnd) {
-    throw std::runtime_error("DirectAlloc: out of modelled physical memory");
+    throw KernelError(KernelFault::kOutOfPhysicalMemory,
+                      "DirectAlloc: out of modelled physical memory");
   }
   alloc_next_ = a + size;
   return a;
@@ -131,11 +133,11 @@ IrqHandlerObj* Kernel::DirectIrqHandler(std::uint32_t line) {
 
 CapSlot* Kernel::DirectCap(CNodeObj* cn, std::uint32_t index, Cap cap, CapSlot* parent) {
   if (index >= cn->NumSlots()) {
-    throw std::logic_error("DirectCap: index out of range");
+    throw KernelError(KernelFault::kCapIndexOutOfRange, "DirectCap: index out of range");
   }
   CapSlot* slot = &cn->slots[index];
   if (!slot->IsNull()) {
-    throw std::logic_error("DirectCap: slot occupied");
+    throw KernelError(KernelFault::kCapSlotOccupied, "DirectCap: slot occupied");
   }
   slot->cap = cap;
   if (parent != nullptr) {
@@ -201,6 +203,9 @@ void Kernel::DirectSetCurrent(TcbObj* t) {
 }
 
 void Kernel::DirectBindIrq(std::uint32_t line, EndpointObj* ep) {
+  if (line >= InterruptController::kNumLines) {
+    throw KernelError(KernelFault::kBadIrqLine, "DirectBindIrq: line out of range");
+  }
   irq_bindings_[line] = ep != nullptr ? ep->base : 0;
   machine_->irq().Unmask(line);
 }
@@ -208,7 +213,8 @@ void Kernel::DirectBindIrq(std::uint32_t line, EndpointObj* ep) {
 void Kernel::DirectMapPageTable(PageDirObj* pd, std::uint32_t pd_index, PageTableObj* pt,
                                 CapSlot* pt_slot) {
   if (pd_index >= PageDirObj::kUserEntries) {
-    throw std::logic_error("DirectMapPageTable: index in kernel region");
+    throw KernelError(KernelFault::kBadDirectMapping,
+                      "DirectMapPageTable: index in kernel region");
   }
   pd->pde[pd_index] = pt->base;
   pd->is_section[pd_index] = false;
@@ -231,7 +237,7 @@ void Kernel::DirectMapFrame(PageDirObj* pd, Addr vaddr, FrameObj* frame, CapSlot
   } else {
     PageTableObj* pt = objs_.Get<PageTableObj>(pd->pde[pd_index]);
     if (pt == nullptr || pd->is_section[pd_index]) {
-      throw std::logic_error("DirectMapFrame: no page table at vaddr");
+      throw KernelError(KernelFault::kBadDirectMapping, "DirectMapFrame: no page table at vaddr");
     }
     const std::uint32_t pt_index = static_cast<std::uint32_t>((vaddr >> 12) & 0xFF);
     pt->pte[pt_index] = frame->base;
@@ -252,7 +258,7 @@ void Kernel::DirectRegisterAsidPool(AsidPoolObj* pool) { asid_pool_ = pool->base
 void Kernel::DirectAssignAsid(PageDirObj* pd) {
   AsidPoolObj* pool = objs_.Get<AsidPoolObj>(asid_pool_);
   if (pool == nullptr) {
-    throw std::logic_error("DirectAssignAsid: no ASID pool registered");
+    throw KernelError(KernelFault::kNoAsidPool, "DirectAssignAsid: no ASID pool registered");
   }
   for (std::uint32_t i = 1; i < AsidPoolObj::kEntries; ++i) {
     if (pool->pd[i] == 0) {
@@ -261,7 +267,7 @@ void Kernel::DirectAssignAsid(PageDirObj* pd) {
       return;
     }
   }
-  throw std::runtime_error("DirectAssignAsid: pool exhausted");
+  throw KernelError(KernelFault::kAsidPoolExhausted, "DirectAssignAsid: pool exhausted");
 }
 
 EndpointObj* Kernel::irq_binding(std::uint32_t line) const {
@@ -557,6 +563,14 @@ KernelExit Kernel::Syscall(SysOp op, std::uint32_t cptr, const SyscallArgs& args
   T(current_->base, /*write=*/true);
   current_->last_error = KError::kOk;
 
+  // Hostile-argument screening: a real kernel validates the message-info word
+  // at entry. Malformed lengths take the bad-op decode chain and surface as
+  // KError::kInvalidArg instead of tripping host-level range checks deeper in
+  // the transfer loop.
+  const bool args_ok = args.msg_len <= KernelConfig::kMaxMsgWords &&
+                       args.n_extra <= KernelConfig::kMaxExtraCaps;
+  const SysOp eff_op = args_ok ? op : SysOp::kReply;
+
   if (config_.ipc_fastpath) {
     x(e.fast_check);
     bool eligible = false;
@@ -588,7 +602,7 @@ KernelExit Kernel::Syscall(SysOp op, std::uint32_t cptr, const SyscallArgs& args
 
   OpStatus st = OpStatus::kDone;
   x(e.d_call);
-  switch (op) {
+  switch (eff_op) {
     case SysOp::kCall:
       x(e.do_call);
       st = HandleCall(cptr, args);

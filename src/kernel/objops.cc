@@ -93,19 +93,22 @@ OpStatus Kernel::UntypedRetype(CapSlot* ut_slot, const SyscallArgs& args) {
     }
   };
   const std::uint32_t count = args.obj_count;
+  // obj_bits is attacker-controlled: screen it before it feeds a shift.
   bool valid = ut != nullptr && retypeable(args.obj_type) && count >= 1 &&
                count <= KernelConfig::kMaxRetypeCount &&
-               (args.obj_type != ObjType::kPageDir || count == 1);
+               (args.obj_type != ObjType::kPageDir || count == 1) &&
+               args.obj_bits <= config_.max_object_bits;
   std::uint8_t size_bits = 0;
   Addr base = 0;
   std::uint64_t total = 0;
   if (valid) {
     T(ut->base);
     size_bits = ObjSizeBits(args.obj_type, args.obj_bits, config_);
-    total = static_cast<std::uint64_t>(count) << size_bits;
+    valid = size_bits <= config_.max_object_bits;
+    total = valid ? static_cast<std::uint64_t>(count) << size_bits : 0;
     // The closed-system object-size bound applies to the whole batch, so the
     // clearing loop's analysis bound is count-independent.
-    valid = total <= (std::uint64_t{1} << config_.max_object_bits);
+    valid = valid && total <= (std::uint64_t{1} << config_.max_object_bits);
     if (valid) {
       base = AlignUp(ut->retype_active ? ut->retype_base : ut->watermark,
                      std::uint64_t{1} << size_bits);
@@ -742,7 +745,9 @@ OpStatus Kernel::IrqInvoke(CapSlot* slot, const SyscallArgs& args) {
   IrqHandlerObj* h = objs_.Get<IrqHandlerObj>(slot->cap.obj);
   x(v.entry);
   T(slot->addr);
-  if (h == nullptr) {
+  // A handler cap for a line outside the controller is as invalid as a stale
+  // cap: both would index past irq_bindings_ / the controller's mask array.
+  if (h == nullptr || h->line >= InterruptController::kNumLines) {
     x(v.d_set);
     x(v.ack);
     current_->last_error = KError::kInvalidCap;

@@ -243,6 +243,9 @@ void Executor::At(BlockId bid) {
     }
     OpenBlockWindow();
   }
+  if (fault_hook_ != nullptr) {
+    fault_hook_->OnBlock(bid, b.is_preemption_point);
+  }
   ChargeBlock(b);
 }
 

@@ -32,6 +32,22 @@ class ExecError : public std::logic_error {
   explicit ExecError(const std::string& what) : std::logic_error(what) {}
 };
 
+// Fault-injection seam (src/fault). The executor calls OnBlock for every
+// block it is about to charge — after the CFG edge into the block has been
+// validated, before the block's costs land on the machine. A hook that
+// asserts an interrupt line here is therefore visible to the kernel's very
+// next PreemptPending() check: asserting on a preemption-point block models
+// an interrupt arriving exactly at that boundary. Hooks must not charge
+// modelled cycles; they observe and poke hardware state only.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // |b| is the block becoming current; |is_preemption_point| mirrors the
+  // block's CFG flag so hooks need not look the block up again.
+  virtual void OnBlock(BlockId b, bool is_preemption_point) = 0;
+};
+
 class Executor {
  public:
   static constexpr std::size_t kNumRegs = 16;
@@ -70,6 +86,12 @@ class Executor {
   void set_trace_sink(TraceSink* sink) { sink_ = sink; }
   TraceSink* trace_sink() const { return sink_; }
 
+  // Fault-injection hook (off by default): invoked from At() for every block,
+  // at zero modelled-cycle cost. See FaultHook above for the exact timing
+  // contract relative to the kernel's PreemptPending() checks.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
+
   const Program& program() const { return *program_; }
   Machine& machine() { return *machine_; }
 
@@ -103,6 +125,7 @@ class Executor {
   Trace trace_;
 
   TraceSink* sink_ = nullptr;
+  FaultHook* fault_hook_ = nullptr;
   Cycles blk_start_cycle_ = 0;  // counter snapshot at current-block entry
   std::uint64_t blk_start_imiss_ = 0;
   std::uint64_t blk_start_dmiss_ = 0;

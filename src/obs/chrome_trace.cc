@@ -197,6 +197,30 @@ void ChromeTraceWriter::Write(std::ostream& os) const {
         p.Field("args", buf);
         p.End();
         break;
+      case TraceEventKind::kIrqSpuriousAck:
+        p.Begin("i", "spurious-ack", "irq", us(e.cycle), 0, kKernelTid);
+        p.Field("s", "\"t\"");
+        std::snprintf(buf, sizeof(buf), "{\"line\":%u}", e.id);
+        p.Field("args", buf);
+        p.End();
+        break;
+      case TraceEventKind::kIrqCoalesced:
+        p.Begin("i", "coalesced", "irq", us(e.cycle), 0, kKernelTid);
+        p.Field("s", "\"t\"");
+        std::snprintf(buf, sizeof(buf), "{\"line\":%u,\"first_assert\":%llu}", e.id,
+                      static_cast<unsigned long long>(e.arg0));
+        p.Field("args", buf);
+        p.End();
+        break;
+      case TraceEventKind::kFaultInject:
+        p.Begin("i", "inject", "fault", us(e.cycle), 0, kKernelTid);
+        p.Field("s", "\"t\"");
+        std::snprintf(buf, sizeof(buf), "{\"line\":%u,\"ordinal\":%llu,\"burst\":%llu}", e.id,
+                      static_cast<unsigned long long>(e.arg0),
+                      static_cast<unsigned long long>(e.arg1));
+        p.Field("args", buf);
+        p.End();
+        break;
     }
   }
   os << "\n],\"displayTimeUnit\":\"ns\"}\n";

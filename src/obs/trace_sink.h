@@ -35,6 +35,11 @@ enum class TraceEventKind : std::uint8_t {
                       // arg0 = burst cycles, arg1 = TCB address
   kThreadSwitch,      // current thread changed; id = thread ordinal,
                       // arg1 = TCB address (0 = idle)
+  kIrqSpuriousAck,    // ack of a non-pending line; id = line
+  kIrqCoalesced,      // re-assert of an already-pending line; id = line,
+                      // arg0 = surviving (first) assert cycle
+  kFaultInject,       // fault injector fired; id = line,
+                      // arg0 = injection ordinal, arg1 = burst length
 };
 
 struct TraceEvent {

@@ -64,6 +64,9 @@ std::uint64_t Runner::Run(Cycles duration) {
   std::uint64_t total_steps = 0;
 
   while (m.Now() < end) {
+    if (disturbance_) {
+      disturbance_(m.Now());
+    }
     NoteCurrentThread();
     if (m.irq().AnyPending() && k.current() != k.idle()) {
       DeliverIrq();

@@ -65,6 +65,13 @@ class Runner {
   // System::AttachTraceSink; attach the same sink to both for a full trace.
   void set_trace_sink(TraceSink* sink) { sink_ = sink; }
 
+  // Optional device-side disturbance, called with the current cycle at the
+  // top of every scheduling iteration — i.e. at every point where hardware
+  // could act while userland runs. Fault campaigns use this to assert IRQ
+  // storms and spurious acks against the controller; the hook must not enter
+  // the kernel itself (the runner delivers any pending interrupt right after).
+  void SetDisturbance(std::function<void(Cycles)> hook) { disturbance_ = std::move(hook); }
+
   // Runs the system for |duration| modelled cycles (approximately: the last
   // step may overshoot). Returns the number of steps completed.
   std::uint64_t Run(Cycles duration);
@@ -94,6 +101,7 @@ class Runner {
   System* sys_;
   std::map<const TcbObj*, ThreadProgram> programs_;
   std::function<void(TcbObj*, std::size_t)> hook_;
+  std::function<void(Cycles)> disturbance_;
   TraceSink* sink_ = nullptr;
   std::map<const TcbObj*, std::uint32_t> ordinals_;
   const TcbObj* last_traced_ = nullptr;

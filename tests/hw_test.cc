@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "src/hw/machine.h"
+#include "src/obs/trace_sink.h"
 
 namespace pmk {
 namespace {
@@ -191,6 +192,56 @@ TEST(IrqTest, TimerFiresEveryPeriod) {
   EXPECT_EQ(ic.Acknowledge(InterruptController::kTimerLine), 1000u);
   t.Tick(3000);
   EXPECT_EQ(ic.Acknowledge(InterruptController::kTimerLine), 2000u);
+}
+
+TEST(IrqTest, SpuriousAcknowledgeIsAbsorbed) {
+  InterruptController ic;
+  EXPECT_EQ(ic.Acknowledge(4), std::nullopt);
+  EXPECT_EQ(ic.spurious_acks(), 1u);
+  // A real assertion afterwards is unaffected by the earlier spurious ack.
+  ic.Assert(4, 70);
+  EXPECT_EQ(ic.Acknowledge(4), 70u);
+  // Acking the same line twice: the second is spurious again.
+  EXPECT_EQ(ic.Acknowledge(4), std::nullopt);
+  EXPECT_EQ(ic.spurious_acks(), 2u);
+  EXPECT_FALSE(ic.AnyPending());
+}
+
+TEST(IrqTest, CoalescedReassertCountsAndKeepsFirstTimestamp) {
+  InterruptController ic;
+  ic.Assert(6, 100);
+  ic.Assert(6, 250);
+  ic.Assert(6, 400);
+  EXPECT_EQ(ic.coalesced_asserts(), 2u);
+  EXPECT_EQ(ic.Acknowledge(6), 100u);  // latency measured from first edge
+  ic.Reset();
+  EXPECT_EQ(ic.coalesced_asserts(), 0u);
+  EXPECT_EQ(ic.spurious_acks(), 0u);
+}
+
+TEST(IrqTest, SpuriousAndCoalescedEmitTraceEvents) {
+  InterruptController ic;
+  EventLog log;
+  ic.set_trace_sink(&log);
+  ic.Assert(7, 100);
+  ic.Assert(7, 300);   // coalesced
+  ic.Acknowledge(7);   // genuine
+  ic.Acknowledge(7);   // spurious
+  bool saw_coalesced = false;
+  bool saw_spurious = false;
+  for (const TraceEvent& ev : log.events()) {
+    if (ev.kind == TraceEventKind::kIrqCoalesced) {
+      saw_coalesced = true;
+      EXPECT_EQ(ev.id, 7u);
+      EXPECT_EQ(ev.arg0, 100u);  // the surviving first assert cycle
+    }
+    if (ev.kind == TraceEventKind::kIrqSpuriousAck) {
+      saw_spurious = true;
+      EXPECT_EQ(ev.id, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_coalesced);
+  EXPECT_TRUE(saw_spurious);
 }
 
 TEST(MachineTest, InstrFetchChargesBasePlusMisses) {
