@@ -9,12 +9,13 @@
 // interrupt waits out the entire operation — the paper's latency pathology
 // reproduced by the fault engine instead of a timer.
 //
-// Flags: --csv (machine-readable), --seed=N (cycle-offset draw).
+// Flags: --csv (machine-readable), --seed=N (cycle-offset draw),
+// --jobs=N (checkpoint-fork the sweeps across N workers; same output).
 
 #include <cstdio>
 
 #include "src/fault/campaign.h"
-#include "src/fault/rng.h"
+#include "src/sim/rng.h"
 #include "src/sim/report.h"
 
 namespace pmk {
@@ -41,6 +42,13 @@ int Main(int argc, char** argv) {
   Table table({"kernel", "operation", "preempt points", "sweep runs", "all ok", "max restarts",
                "worst irq latency"});
   SweepOptions opts;
+  const std::string jobs_str = FlagValue(argc, argv, "--jobs=");
+  if (!jobs_str.empty()) {
+    // The canonical op factories are fork-safe, so the sweeps can run on the
+    // checkpoint engine; the table is identical for any --jobs value.
+    opts.jobs = static_cast<unsigned>(std::stoul(jobs_str));
+    opts.checkpoint = true;
+  }
   SplitMix64 rng(seed);
 
   const struct {

@@ -5,17 +5,21 @@
 // worst-case interrupt response time (paper Section 6).
 //
 // Usage: wcet_tool [before|after] [--l2] [--pin] [--functional] [--trace]
+//                  [--jobs=N]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "src/engine/job_pool.h"
 #include "src/wcet/analysis.h"
 
 int main(int argc, char** argv) {
   pmk::KernelConfig kc = pmk::KernelConfig::After();
   pmk::AnalysisOptions opts;
   bool dump_trace = false;
+  unsigned jobs = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "before") == 0) {
       kc = pmk::KernelConfig::Before();
@@ -36,10 +40,12 @@ int main(int argc, char** argv) {
       opts.irq_pending = false;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       dump_trace = true;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = static_cast<unsigned>(std::stoul(argv[i] + 7));
     } else {
       std::fprintf(stderr,
                    "usage: %s [before|after] [--l2] [--pin] [--l2pin] [--sendrecv]"
-                   " [--timeslice] [--functional] [--trace]\n",
+                   " [--timeslice] [--functional] [--trace] [--jobs=N]\n",
                    argv[0]);
       return 2;
     }
@@ -55,10 +61,16 @@ int main(int argc, char** argv) {
               "nodes", "edges", "auto", "annot");
   pmk::Cycles longest = 0;
   pmk::Cycles irq_wcet = 0;
-  for (const auto entry :
-       {pmk::EntryPoint::kSyscall, pmk::EntryPoint::kUndefined, pmk::EntryPoint::kPageFault,
-        pmk::EntryPoint::kInterrupt}) {
-    const pmk::EntryResult r = analyzer.Analyze(entry);
+  // Entry analyses are independent; fan them out and print in entry order
+  // (identical output for any --jobs value).
+  const std::vector<pmk::EntryPoint> entries = {
+      pmk::EntryPoint::kSyscall, pmk::EntryPoint::kUndefined, pmk::EntryPoint::kPageFault,
+      pmk::EntryPoint::kInterrupt};
+  const auto results = pmk::engine::ParallelMap<pmk::EntryResult>(
+      entries.size(), jobs, [&](std::size_t i) { return analyzer.Analyze(entries[i]); });
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const pmk::EntryPoint entry = entries[i];
+    const pmk::EntryResult& r = results[i];
     if (r.status != pmk::SolveStatus::kOptimal) {
       std::printf("%-24s  solver status %d\n", pmk::EntryPointName(entry),
                   static_cast<int>(r.status));

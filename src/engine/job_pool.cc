@@ -1,0 +1,63 @@
+#include "src/engine/job_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace pmk::engine {
+
+void RunJobs(std::size_t n, unsigned jobs, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  if (jobs <= 1 || n == 1) {
+    // Inline path: no threads, index order. This is the reference execution
+    // the parallel path must be observably identical to.
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  // Lowest throwing index wins, matching what serial execution would surface.
+  std::mutex err_mu;
+  std::size_t err_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (i < err_index) {
+          err_index = i;
+          err = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t n_threads = std::min<std::size_t>(jobs, n);
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (err) {
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace pmk::engine

@@ -1,0 +1,26 @@
+#include "src/engine/parallel_bench.h"
+
+#include <iomanip>
+
+namespace pmk::engine {
+
+void WriteParallelBenchJson(std::ostream& os, const std::vector<ParallelBenchResult>& results) {
+  os << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ParallelBenchResult& r = results[i];
+    os << "    {\n"
+       << "      \"name\": \"" << r.name << "\",\n"
+       << "      \"runs\": " << r.runs << ",\n"
+       << "      \"jobs\": " << r.jobs << ",\n"
+       << std::fixed << std::setprecision(6)
+       << "      \"baseline_seconds\": " << r.baseline_seconds << ",\n"
+       << "      \"engine_seconds\": " << r.engine_seconds << ",\n"
+       << std::setprecision(2)
+       << "      \"speedup\": " << r.Speedup() << ",\n"
+       << "      \"identical_output\": " << (r.identical ? "true" : "false") << "\n"
+       << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace pmk::engine

@@ -1,0 +1,47 @@
+// Wall-clock speedup measurement for the parallel campaign engine.
+//
+// Times a baseline (serial, no checkpointing) against the engine path
+// (checkpoint fork + job pool) and emits a stable-format BENCH_parallel.json.
+// Wall-clock seconds are the ONLY nondeterministic values in the engine's
+// output, and they are confined to this file's JSON — campaign CSVs stay
+// byte-identical across runs and job counts.
+
+#ifndef SRC_ENGINE_PARALLEL_BENCH_H_
+#define SRC_ENGINE_PARALLEL_BENCH_H_
+
+#include <chrono>
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pmk::engine {
+
+// Seconds consumed by fn(), measured on the steady clock.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+struct ParallelBenchResult {
+  std::string name;            // e.g. "exhaustive-sweep/retype"
+  std::size_t runs = 0;        // scenario runs in each variant
+  unsigned jobs = 1;           // worker threads in the engine variant
+  double baseline_seconds = 0; // serial, boot-per-run
+  double engine_seconds = 0;   // checkpointed, |jobs| workers
+  bool identical = false;      // engine output byte-identical to baseline
+
+  double Speedup() const {
+    return engine_seconds > 0 ? baseline_seconds / engine_seconds : 0.0;
+  }
+};
+
+// Writes the results as JSON (fixed field order, 6-decimal seconds).
+void WriteParallelBenchJson(std::ostream& os, const std::vector<ParallelBenchResult>& results);
+
+}  // namespace pmk::engine
+
+#endif  // SRC_ENGINE_PARALLEL_BENCH_H_

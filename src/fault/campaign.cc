@@ -4,7 +4,9 @@
 #include <array>
 #include <sstream>
 
-#include "src/fault/rng.h"
+#include "src/engine/checkpoint.h"
+#include "src/engine/job_pool.h"
+#include "src/sim/rng.h"
 #include "src/kernel/error.h"
 #include "src/sim/runner.h"
 
@@ -36,8 +38,13 @@ ScenarioResult FromRun(const std::string& mode, const std::string& op, const Run
 }
 
 void RunExhaustive(const CampaignConfig& cfg, CampaignReport& report) {
+  // The canonical ops are fork-safe, so the sweep boots each scenario once
+  // and forks every run from the checkpoint, fanned out over the job pool.
+  SweepOptions opts = cfg.sweep;
+  opts.checkpoint = true;
+  opts.jobs = cfg.jobs;
   for (const auto& [name, factory] : CanonicalOps()) {
-    const SweepResult sweep = ExhaustiveIrqSweep(factory, cfg.sweep);
+    const SweepResult sweep = ExhaustiveIrqSweep(factory, opts);
     report.results.push_back(FromRun("exhaustive", name + "/dry", sweep.dry_run));
     for (const RunRecord& rec : sweep.runs) {
       report.results.push_back(FromRun("exhaustive", name, rec));
@@ -48,9 +55,13 @@ void RunExhaustive(const CampaignConfig& cfg, CampaignReport& report) {
 void RunRandom(const CampaignConfig& cfg, CampaignReport& report) {
   SplitMix64 rng(cfg.seed ^ 0xA5A5'0001ull);
   for (const auto& [name, factory] : CanonicalOps()) {
-    const std::uint64_t pp = RunWithPlan(factory, InjectionPlan{}, cfg.sweep).preempt_points;
-    for (std::uint32_t r = 0; r < cfg.random_runs; ++r) {
-      InjectionPlan plan;
+    const ScenarioCheckpoint ckpt(factory);
+    const std::uint64_t pp =
+        RunWithInstance(ckpt.Fork(), InjectionPlan{}, cfg.sweep).preempt_points;
+    // Plans are drawn serially before any run executes: the RNG stream is a
+    // function of the seed alone, never of run results or thread timing.
+    std::vector<InjectionPlan> plans(cfg.random_runs);
+    for (InjectionPlan& plan : plans) {
       const std::uint64_t n_actions = 1 + rng.Below(3);
       for (std::uint64_t i = 0; i < n_actions; ++i) {
         InjectionAction a;
@@ -65,14 +76,24 @@ void RunRandom(const CampaignConfig& cfg, CampaignReport& report) {
         a.burst = 1 + static_cast<std::uint32_t>(rng.Below(4));
         plan.actions.push_back(a);
       }
-      report.results.push_back(FromRun("random", name, RunWithPlan(factory, plan, cfg.sweep)));
     }
+    const auto rows = engine::ParallelMap<ScenarioResult>(
+        plans.size(), cfg.jobs, [&](std::size_t r) {
+          return FromRun("random", name, RunWithInstance(ckpt.Fork(), plans[r], cfg.sweep));
+        });
+    report.results.insert(report.results.end(), rows.begin(), rows.end());
   }
 }
 
 void RunStorm(const CampaignConfig& cfg, CampaignReport& report) {
-  SplitMix64 rng(cfg.seed ^ 0xA5A5'0002ull);
-  for (std::uint32_t run = 0; run < cfg.storm_runs; ++run) {
+  // Storm draws interleave with execution, so the runs cannot share one RNG
+  // stream without becoming schedule-dependent. Each run owns a child stream
+  // split off by its ordinal: a pure function of (seed, run), identical no
+  // matter which thread executes it or in what order.
+  const SplitMix64 base(cfg.seed ^ 0xA5A5'0002ull);
+  const auto rows = engine::ParallelMap<ScenarioResult>(
+      cfg.storm_runs, cfg.jobs, [&](std::size_t run) {
+    SplitMix64 rng = base.Split(run);
     System sys(KernelConfig::After(), EvalMachine(false));
     const std::uint32_t ut_cptr = sys.AddUntyped(16, nullptr);
     // Equal priorities: Yield round-robins all three under the storm.
@@ -127,8 +148,9 @@ void RunStorm(const CampaignConfig& cfg, CampaignReport& report) {
     }
     res.spurious_acks = sys.machine().irq().spurious_acks();
     res.coalesced = sys.machine().irq().coalesced_asserts();
-    report.results.push_back(res);
-  }
+    return res;
+  });
+  report.results.insert(report.results.end(), rows.begin(), rows.end());
 }
 
 void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
@@ -147,11 +169,28 @@ void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
       sys.BuildDeepCapSpace(deep_actor, sys.SlotOf(ep_cptr)->cap, 32);
   sys.kernel().DirectSetCurrent(actor);
 
-  for (std::uint32_t run = 0; run < cfg.hostile_runs; ++run) {
-    SyscallArgs args;
-    std::uint32_t cptr = ep_cptr;
+  // Freeze the built system; every hostile syscall executes against its own
+  // fork, so runs are independent (a malformed input that somehow mutated
+  // state could never leak into the next run) and free to execute on any
+  // worker thread. The actors are re-resolved per fork by base address.
+  const engine::SystemCheckpoint ckpt(sys);
+  const Addr actor_base = actor->base;
+  const Addr deep_actor_base = deep_actor->base;
+
+  // Inputs are drawn serially up front, a pure function of the seed.
+  struct HostileCase {
     std::string kind;
+    std::uint32_t cptr = 0;
+    SyscallArgs args;
     bool deep = false;
+  };
+  std::vector<HostileCase> cases(cfg.hostile_runs);
+  for (HostileCase& hc : cases) {
+    SyscallArgs& args = hc.args;
+    std::uint32_t& cptr = hc.cptr;
+    std::string& kind = hc.kind;
+    bool& deep = hc.deep;
+    cptr = ep_cptr;
     switch (rng.Below(8)) {
       case 0:
         kind = "huge-msg-len";
@@ -204,19 +243,23 @@ void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
         cptr = deep_cptr ^ (1u << rng.Below(32));
         break;
     }
+  }
 
+  const auto rows = engine::ParallelMap<ScenarioResult>(
+      cases.size(), cfg.jobs, [&](std::size_t run) {
+    const HostileCase& hc = cases[run];
     ScenarioResult res;
     res.mode = "hostile";
-    res.op = kind;
+    res.op = hc.kind;
     res.plan = "h#" + std::to_string(run);
-    if (deep) {
-      sys.kernel().DirectSetCurrent(deep_actor);
-    }
+    std::unique_ptr<System> fork = ckpt.Fork();
+    TcbObj* run_actor =
+        fork->kernel().objects().Get<TcbObj>(hc.deep ? deep_actor_base : actor_base);
+    fork->kernel().DirectSetCurrent(run_actor);
     try {
-      sys.kernel().Syscall(SysOp::kCall, cptr, args);
-      sys.kernel().CheckInvariants();
-      const KError err = (deep ? deep_actor : actor)->last_error;
-      res.ok = err != KError::kOk;
+      fork->kernel().Syscall(SysOp::kCall, hc.cptr, hc.args);
+      fork->kernel().CheckInvariants();
+      res.ok = run_actor->last_error != KError::kOk;
       if (!res.ok) {
         res.detail = "hostile input reported success";
       }
@@ -227,16 +270,18 @@ void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
       res.ok = false;
       res.detail = Sanitize(ex.what());
     }
-    if (deep) {
-      sys.kernel().DirectSetCurrent(actor);
-    }
-    report.results.push_back(res);
-  }
+    return res;
+  });
+  report.results.insert(report.results.end(), rows.begin(), rows.end());
 }
 
 void RunSpurious(const CampaignConfig& cfg, CampaignReport& report) {
-  SplitMix64 rng(cfg.seed ^ 0xA5A5'0004ull);
-  for (std::uint32_t run = 0; run < cfg.spurious_runs; ++run) {
+  // Per-run child streams (see RunStorm): draws interleave with the shadow
+  // model, so every run gets a stream derived from its ordinal.
+  const SplitMix64 base(cfg.seed ^ 0xA5A5'0004ull);
+  const auto rows = engine::ParallelMap<ScenarioResult>(
+      cfg.spurious_runs, cfg.jobs, [&](std::size_t run) {
+    SplitMix64 rng = base.Split(run);
     // Property test of the controller against a shadow model: interleaved
     // asserts, spurious acks, masks. Acknowledge must return the first
     // assertion time iff the line was pending, nullopt otherwise.
@@ -296,8 +341,9 @@ void RunSpurious(const CampaignConfig& cfg, CampaignReport& report) {
     }
     res.spurious_acks = ic.spurious_acks();
     res.coalesced = ic.coalesced_asserts();
-    report.results.push_back(res);
-  }
+    return res;
+  });
+  report.results.insert(report.results.end(), rows.begin(), rows.end());
 
   // One kernel-level spurious entry: an IRQ kernel entry with nothing
   // pending must take the h.spurious path and leave the kernel consistent.

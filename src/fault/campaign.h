@@ -33,9 +33,15 @@ struct CampaignConfig {
   bool exhaustive = true;
   std::uint32_t random_runs = 32;    // per canonical operation
   std::uint32_t storm_runs = 4;
-  std::uint32_t hostile_runs = 128;  // hostile syscalls (one shared system)
+  std::uint32_t hostile_runs = 128;  // hostile syscalls, forked from one system
   std::uint32_t spurious_runs = 16;
   SweepOptions sweep;
+
+  // Worker threads for scenario execution (src/engine job pool). Plans and
+  // RNG streams are precomputed serially and results collected in ordinal
+  // order, so the report is byte-identical for any value — jobs=4 produces
+  // exactly the jobs=1 CSV, just faster.
+  unsigned jobs = 1;
 };
 
 struct ScenarioResult {

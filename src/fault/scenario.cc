@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/engine/job_pool.h"
 #include "src/kernel/error.h"
 
 namespace pmk {
@@ -27,10 +28,41 @@ void UnmaskPlanLines(System& sys, const InjectionPlan& plan) {
 
 }  // namespace
 
+ScenarioCheckpoint::ScenarioCheckpoint(const OpFactory& factory) : templ_(factory()) {
+  if (templ_.actor != nullptr) {
+    actor_base_ = templ_.actor->base;
+  }
+  ckpt_ = std::make_unique<engine::SystemCheckpoint>(*templ_.sys);
+  templ_.sys.reset();       // the frozen image lives in ckpt_
+  templ_.actor = nullptr;   // dangling once sys is gone; re-resolved per fork
+}
+
+OpInstance ScenarioCheckpoint::Fork() const {
+  OpInstance inst;
+  inst.sys = ckpt_->Fork();
+  inst.op = templ_.op;
+  inst.cptr = templ_.cptr;
+  inst.args = templ_.args;
+  if (actor_base_ != 0) {
+    inst.actor = inst.sys->kernel().objects().Get<TcbObj>(actor_base_);
+    if (inst.actor == nullptr) {
+      throw std::logic_error("ScenarioCheckpoint::Fork: actor missing from forked heap");
+    }
+  }
+  inst.on_preempted = templ_.on_preempted;
+  inst.check_done = templ_.check_done;
+  return inst;
+}
+
 RunRecord RunWithPlan(const OpFactory& factory, const InjectionPlan& plan,
                       const SweepOptions& opts,
                       const std::function<void(System&)>& sabotage) {
-  OpInstance inst = factory();
+  return RunWithInstance(factory(), plan, opts, sabotage);
+}
+
+RunRecord RunWithInstance(OpInstance inst, const InjectionPlan& plan,
+                          const SweepOptions& opts,
+                          const std::function<void(System&)>& sabotage) {
   System& sys = *inst.sys;
 
   FaultInjector inj(&sys.machine());
@@ -146,20 +178,37 @@ std::uint32_t SweepResult::MaxRestarts() const {
 
 SweepResult ExhaustiveIrqSweep(const OpFactory& factory, const SweepOptions& opts) {
   SweepResult res;
-  // Dry run: no injections; counts the preemption-point boundaries the
-  // undisturbed operation crosses.
-  res.dry_run = RunWithPlan(factory, InjectionPlan{}, opts);
-  res.preempt_points = res.dry_run.preempt_points;
-  res.runs.reserve(res.preempt_points);
-  for (std::uint64_t k = 0; k < res.preempt_points; ++k) {
+  const auto plan_for = [&opts](std::uint64_t k) {
     InjectionPlan plan;
     InjectionAction a;
     a.trigger = InjectionAction::Trigger::kPreemptOrdinal;
     a.at = k;
     a.line = opts.line;
     plan.actions.push_back(a);
-    res.runs.push_back(RunWithPlan(factory, plan, opts));
+    return plan;
+  };
+
+  if (!opts.checkpoint) {
+    // Legacy path: boot a fresh system per run (the BENCH_parallel baseline).
+    res.dry_run = RunWithPlan(factory, InjectionPlan{}, opts);
+    res.preempt_points = res.dry_run.preempt_points;
+    res.runs.reserve(res.preempt_points);
+    for (std::uint64_t k = 0; k < res.preempt_points; ++k) {
+      res.runs.push_back(RunWithPlan(factory, plan_for(k), opts));
+    }
+    return res;
   }
+
+  // Engine path: boot once, fork every run — including the dry run, so all
+  // runs start from the identical frozen image — and execute on the job
+  // pool, collecting results by ordinal.
+  const ScenarioCheckpoint ckpt(factory);
+  res.dry_run = RunWithInstance(ckpt.Fork(), InjectionPlan{}, opts);
+  res.preempt_points = res.dry_run.preempt_points;
+  res.runs.resize(res.preempt_points);
+  engine::RunJobs(res.preempt_points, opts.jobs, [&](std::size_t k) {
+    res.runs[k] = RunWithInstance(ckpt.Fork(), plan_for(k), opts);
+  });
   return res;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/checkpoint.h"
 #include "src/fault/injector.h"
 #include "src/sim/workload.h"
 
@@ -41,9 +42,39 @@ struct OpInstance {
 
 using OpFactory = std::function<OpInstance()>;
 
+// Checkpointed scenario: invokes |factory| ONCE, freezes the built system via
+// the engine's SystemCheckpoint, and stamps out independent OpInstances on
+// demand. A fork deep-clones the system, re-resolves the actor by its base
+// address in the cloned heap, and shares the on_preempted/check_done
+// callbacks across forks.
+//
+// Requires a FORK-SAFE factory: because the factory runs once and its
+// callbacks are shared, they must address objects via the System& they are
+// handed (capturing base addresses, never object pointers) and must not
+// carry per-run mutable state. The canonical operations below qualify;
+// factories that track identity through captured pointers (some tests do)
+// must stay on the boot-per-run path (SweepOptions::checkpoint = false).
+// Fork() is const and thread-safe; the job pool calls it from worker threads.
+class ScenarioCheckpoint {
+ public:
+  explicit ScenarioCheckpoint(const OpFactory& factory);
+
+  OpInstance Fork() const;
+
+ private:
+  OpInstance templ_;  // op, args and callbacks; its sys is moved into ckpt_
+  std::unique_ptr<engine::SystemCheckpoint> ckpt_;
+  Addr actor_base_ = 0;
+};
+
 struct SweepOptions {
   std::uint32_t line = 5;           // unbound device line asserted by default
   std::uint32_t restart_slack = 4;  // allowed restarts beyond injected lines
+  unsigned jobs = 1;                // worker threads for the sweep's runs
+  // Boot once + fork every run off the frozen image. Opt-in: requires a
+  // fork-safe factory (see ScenarioCheckpoint). Off, the sweep boots a
+  // fresh system per run, which any factory supports.
+  bool checkpoint = false;
 };
 
 // Outcome of driving one operation under one injection plan.
@@ -75,6 +106,12 @@ RunRecord RunWithPlan(const OpFactory& factory, const InjectionPlan& plan,
                       const SweepOptions& opts,
                       const std::function<void(System&)>& sabotage = nullptr);
 
+// Same, but drives an already-built instance (e.g. a checkpoint fork).
+// Consumes |inst|: the run mutates its system beyond reuse.
+RunRecord RunWithInstance(OpInstance inst, const InjectionPlan& plan,
+                          const SweepOptions& opts,
+                          const std::function<void(System&)>& sabotage = nullptr);
+
 struct SweepResult {
   std::uint64_t preempt_points = 0;  // from the injection-free dry run
   RunRecord dry_run;
@@ -87,6 +124,11 @@ struct SweepResult {
 // The tentpole sweep: a dry run counts the P preemption-point boundaries the
 // operation crosses, then P independent runs each assert an interrupt at
 // exactly one boundary. Every run audits invariants and restart bounds.
+//
+// With opts.checkpoint the scenario is built once and every run forks from
+// the frozen image; with opts.jobs > 1 the runs execute on a job pool,
+// collected in ordinal order. Both knobs are invisible in the result: the
+// sweep output is identical for any (checkpoint, jobs) combination.
 SweepResult ExhaustiveIrqSweep(const OpFactory& factory, const SweepOptions& opts);
 
 // Greedy subset minimisation: repeatedly drops actions whose removal keeps

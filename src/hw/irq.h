@@ -86,6 +86,11 @@ class IntervalTimer {
   // Re-arms the timer so its next firing is at |now| + period.
   void Restart(Cycles now) { next_fire_ = now + period_; }
 
+  // Re-targets the timer at |ic|. Machine's copy constructor uses this to
+  // point a copied timer at the copy's own controller instead of the
+  // original's (the one pointer a memberwise Machine copy would get wrong).
+  void RebindController(InterruptController* ic) { ic_ = ic; }
+
  private:
   InterruptController* ic_;
   Cycles period_;

@@ -21,6 +21,20 @@ Machine::Machine(const MachineConfig& config)
       bpred_(config.bpred),
       timer_(&irq_, config.timer_period) {}
 
+Machine::Machine(const Machine& other)
+    : config_(other.config_),
+      l1i_(other.l1i_),
+      l1d_(other.l1d_),
+      l2_(other.l2_),
+      bpred_(other.bpred_),
+      irq_(other.irq_),
+      timer_(other.timer_),
+      now_(other.now_),
+      counters_(other.counters_) {
+  timer_.RebindController(&irq_);
+  irq_.set_trace_sink(nullptr);
+}
+
 Cycles Machine::MissPenalty(Addr addr) {
   Cycles penalty;
   if (!config_.l2_enabled) {

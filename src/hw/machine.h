@@ -52,6 +52,17 @@ class Machine {
  public:
   explicit Machine(const MachineConfig& config);
 
+  // Value-semantic snapshot support (src/engine checkpointing): copying a
+  // Machine clones the full microarchitectural state — cache contents and
+  // round-robin/LFSR replacement state, branch predictor tables, pending
+  // interrupt lines and their assertion times, timer phase, cycle counter and
+  // PMU counters — so a copy replays cycle-for-cycle identically to the
+  // original. The trace sink attachment is deliberately dropped: sinks are
+  // external observers, and forked copies run on worker threads where a
+  // shared sink would race.
+  Machine(const Machine& other);
+  Machine& operator=(const Machine&) = delete;
+
   // --- Cost-charging interface (used by the kernel IR executor) ---
 
   // Fetches and executes |n_instr| sequential 4-byte instructions starting at

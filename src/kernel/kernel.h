@@ -60,6 +60,19 @@ class Kernel {
  public:
   Kernel(const KernelConfig& config, Machine* machine);
 
+  // ---------- Snapshot support (src/engine checkpointing) ----------
+
+  // Deep-copies the whole kernel state — object heap (with every intrusive
+  // pointer remapped into the cloned heap), scheduler queues and bitmaps,
+  // current/idle threads, pending scheduler action, IRQ bindings, latency
+  // samples — onto |machine|, which must itself be a copy of this kernel's
+  // machine. The immutable kernel image is shared, not rebuilt: that is what
+  // makes forking a checkpoint orders of magnitude cheaper than booting a
+  // fresh System. Must be called between kernel entries (the executor must
+  // not be mid-path). Trace sinks and fault hooks are NOT carried over; the
+  // clone starts unobserved.
+  std::unique_ptr<Kernel> Clone(Machine* machine) const;
+
   // ---------- Direct (uncharged) system construction ----------
 
   // Bump-allocates |size| bytes of aligned physical memory for direct setup.
@@ -153,6 +166,11 @@ class Kernel {
  private:
   friend class KernelTestPeer;
 
+  // Clone constructor (snapshot.cc): shares |other|'s immutable image and
+  // copies all scalar state; the object heap is deep-copied by Clone().
+  struct CloneTag {};
+  Kernel(CloneTag, const Kernel& other, Machine* machine);
+
   // Shorthand: announce a block.
   void x(BlockId id) { exec_.At(id); }
   void T(Addr addr, bool write = false) { exec_.Touch(addr, write); }
@@ -232,7 +250,9 @@ class Kernel {
   // ----- state -----
   KernelConfig config_;
   Machine* machine_;
-  std::unique_ptr<KernelImage> image_;
+  // Shared, immutable after construction: clones of this kernel (and the
+  // WCET analyzer) read the same image concurrently from worker threads.
+  std::shared_ptr<const KernelImage> image_;
   Executor exec_;
   ObjectTable objs_;
 

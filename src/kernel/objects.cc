@@ -127,6 +127,18 @@ KObject* ObjectTable::Insert(std::unique_ptr<KObject> obj) {
   return raw;
 }
 
+KObject* ObjectTable::InsertUnchecked(std::unique_ptr<KObject> obj) {
+  const Addr base = obj->base;
+  if (obj->type == ObjType::kUntyped) {
+    UntypedObj* raw = static_cast<UntypedObj*>(obj.release());
+    untypeds_.emplace(base, std::unique_ptr<UntypedObj>(raw));
+    return raw;
+  }
+  KObject* raw = obj.get();
+  objects_.emplace(base, std::move(obj));
+  return raw;
+}
+
 void ObjectTable::Remove(Addr base) {
   if (const auto it = objects_.find(base); it != objects_.end()) {
     objects_.erase(it);

@@ -60,6 +60,11 @@ struct KObject {
 
   virtual ~KObject() = default;
 
+  // Polymorphic value copy (src/engine checkpointing). The copy carries the
+  // original's intrusive pointers (queue links, MDB links, shadow slots)
+  // verbatim; Kernel::Clone remaps them into the cloned heap afterwards.
+  virtual std::unique_ptr<KObject> CloneObj() const = 0;
+
   std::uint64_t SizeBytes() const { return std::uint64_t{1} << size_bits; }
   Addr End() const { return base + SizeBytes(); }
 };
@@ -75,6 +80,8 @@ struct UntypedObj : KObject {
   std::uint8_t retype_bits = 0;
   Addr retype_base = 0;
   std::uint64_t cleared_bytes = 0;
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<UntypedObj>(*this); }
 };
 
 struct CNodeObj : KObject {
@@ -85,6 +92,8 @@ struct CNodeObj : KObject {
 
   std::uint32_t NumSlots() const { return 1u << radix_bits; }
   Addr SlotAddr(std::uint32_t index) const { return base + static_cast<Addr>(index) * 16; }
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<CNodeObj>(*this); }
 };
 
 struct EndpointObj : KObject {
@@ -112,6 +121,8 @@ struct EndpointObj : KObject {
     TcbObj* aborter = nullptr;
   };
   AbortState abort;
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<EndpointObj>(*this); }
 };
 
 struct TcbObj : KObject {
@@ -147,6 +158,8 @@ struct TcbObj : KObject {
 
   // Fault handling.
   std::uint32_t fault_handler_cptr = 0;  // cap address of fault endpoint
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<TcbObj>(*this); }
 };
 
 struct PageTableObj : KObject {
@@ -164,6 +177,8 @@ struct PageTableObj : KObject {
   Addr PteAddr(std::uint32_t i) const { return base + static_cast<Addr>(i) * 4; }
   // Shadow stored adjacent to the table itself (Figure 5).
   Addr ShadowAddr(std::uint32_t i) const { return base + 1024 + static_cast<Addr>(i) * 4; }
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<PageTableObj>(*this); }
 };
 
 struct PageDirObj : KObject {
@@ -182,6 +197,8 @@ struct PageDirObj : KObject {
 
   Addr PdeAddr(std::uint32_t i) const { return base + static_cast<Addr>(i) * 4; }
   Addr ShadowAddr(std::uint32_t i) const { return base + 16 * 1024 + static_cast<Addr>(i) * 4; }
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<PageDirObj>(*this); }
 };
 
 struct FrameObj : KObject {
@@ -189,6 +206,8 @@ struct FrameObj : KObject {
   std::uint32_t asid = 0;   // ASID variant
   Addr mapped_pd = 0;       // shadow variant: containing address space
   Addr vaddr = 0;
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<FrameObj>(*this); }
 };
 
 struct AsidPoolObj : KObject {
@@ -196,11 +215,15 @@ struct AsidPoolObj : KObject {
   std::array<Addr, kEntries> pd{};  // PageDir base or 0
 
   Addr EntryAddr(std::uint32_t i) const { return base + static_cast<Addr>(i) * 4; }
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<AsidPoolObj>(*this); }
 };
 
 struct IrqHandlerObj : KObject {
   std::uint32_t line = 0;
   Addr notify_ep = 0;  // endpoint notified on interrupt (0 = unbound)
+
+  std::unique_ptr<KObject> CloneObj() const override { return std::make_unique<IrqHandlerObj>(*this); }
 };
 
 // Returns the object's size in bits for allocation/alignment. PT/PD sizes
@@ -217,6 +240,11 @@ class ObjectTable {
  public:
   // Inserts |obj|; aborts (throws std::logic_error) on misalignment/overlap.
   KObject* Insert(std::unique_ptr<KObject> obj);
+
+  // Inserts without the alignment/overlap audit. Only for cloning a table
+  // whose invariants already hold (Kernel::Clone): the audit is O(n) per
+  // object, which would make forking a checkpoint quadratic in heap size.
+  KObject* InsertUnchecked(std::unique_ptr<KObject> obj);
   void Remove(Addr base);
 
   // Finds the non-untyped object at |base|, falling back to an untyped

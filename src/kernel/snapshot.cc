@@ -1,0 +1,175 @@
+// Kernel state snapshotting: the deep copy behind src/engine checkpoints.
+//
+// A clone must replay cycle-for-cycle identically to the original, so it
+// copies the complete mutable kernel state and remaps every intrusive pointer
+// — scheduler queue links, endpoint queue links and badged-abort four-tuples,
+// reply chains, MDB derivation links, page-table shadow back-pointers — into
+// the cloned heap. Identity is structural: a kernel object maps to its
+// clone's object at the same physical base address, and a CapSlot maps to the
+// same slot index of the cloned CNode. Any pointer that fails to resolve
+// throws, so an unremapped field added later surfaces as a loud error in the
+// snapshot-fidelity tests instead of silent cross-heap aliasing.
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "src/kernel/kernel.h"
+
+namespace pmk {
+
+namespace {
+
+// old pointer (object or slot) -> its counterpart in the cloned heap.
+using PtrMap = std::unordered_map<const void*, void*>;
+
+template <typename T>
+T* Remap(const PtrMap& map, T* old, const char* what) {
+  if (old == nullptr) {
+    return nullptr;
+  }
+  const auto it = map.find(old);
+  if (it == map.end()) {
+    throw std::logic_error(std::string("Kernel::Clone: dangling ") + what + " pointer");
+  }
+  return static_cast<T*>(it->second);
+}
+
+}  // namespace
+
+Kernel::Kernel(CloneTag, const Kernel& other, Machine* machine)
+    : config_(other.config_),
+      machine_(machine),
+      image_(other.image_),  // shared: immutable after construction
+      exec_(&image_->prog, machine),
+      alloc_next_(other.alloc_next_),
+      queues_(other.queues_),
+      bitmap_l1_(other.bitmap_l1_),
+      bitmap_l2_(other.bitmap_l2_),
+      current_(other.current_),
+      idle_(nullptr),
+      sched_action_(other.sched_action_),
+      choose_new_(other.choose_new_),
+      irq_bindings_(other.irq_bindings_),
+      asid_pool_(other.asid_pool_),
+      irq_latencies_(other.irq_latencies_),
+      fastpath_hits_(other.fastpath_hits_) {}
+
+std::unique_ptr<Kernel> Kernel::Clone(Machine* machine) const {
+  if (exec_.InPath()) {
+    throw std::logic_error("Kernel::Clone: executor is mid-path; snapshot between entries only");
+  }
+  std::unique_ptr<Kernel> k(new Kernel(CloneTag{}, *this, machine));
+
+  // Pass 1: clone every object (pointers still aimed at the old heap) and
+  // record old -> new object identity. The source heap's alignment/overlap
+  // invariants transfer to the clone, so the per-insert audit is skipped.
+  PtrMap ptr;
+  std::size_t n_slots = 0;
+  for (const auto& [base, obj] : objs_.objects()) {
+    if (obj->type == ObjType::kCNode) {
+      n_slots += static_cast<const CNodeObj*>(obj.get())->slots.size();
+    }
+  }
+  ptr.reserve(objs_.objects().size() + objs_.untypeds().size() + 1 + n_slots);
+  for (const auto& [base, obj] : objs_.objects()) {
+    ptr[obj.get()] = k->objs_.InsertUnchecked(obj->CloneObj());
+  }
+  for (const auto& [base, ut] : objs_.untypeds()) {
+    ptr[ut.get()] = k->objs_.InsertUnchecked(ut->CloneObj());
+  }
+  // The idle thread exists from boot and lives outside the object table.
+  k->idle_storage_ = std::make_unique<TcbObj>(*idle_storage_);
+  k->idle_ = k->idle_storage_.get();
+  ptr[idle_] = k->idle_;
+
+  // Pass 2: slot identity — a slot maps to the same index of the cloned
+  // CNode. (CapSlots live only inside CNode slot arrays.)
+  for (const auto& [base, obj] : objs_.objects()) {
+    if (obj->type != ObjType::kCNode) {
+      continue;
+    }
+    const auto* oc = static_cast<const CNodeObj*>(obj.get());
+    auto* nc = static_cast<CNodeObj*>(ptr.at(obj.get()));
+    for (std::size_t i = 0; i < oc->slots.size(); ++i) {
+      ptr[&oc->slots[i]] = &nc->slots[i];
+    }
+  }
+
+  // Pass 3: remap every intrusive pointer in the cloned heap.
+  const auto fix_tcb = [&ptr](TcbObj*& p) { p = Remap(ptr, p, "TCB"); };
+  const auto fix_slot = [&ptr](CapSlot*& p) { p = Remap(ptr, p, "CapSlot"); };
+  const auto fix_object = [&](const KObject* old_obj) {
+    KObject* copy = static_cast<KObject*>(ptr.at(old_obj));
+    switch (copy->type) {
+      case ObjType::kEndpoint: {
+        auto* ep = static_cast<EndpointObj*>(copy);
+        fix_tcb(ep->q_head);
+        fix_tcb(ep->q_tail);
+        fix_tcb(ep->abort.resume);
+        fix_tcb(ep->abort.end_marker);
+        fix_tcb(ep->abort.aborter);
+        break;
+      }
+      case ObjType::kTcb: {
+        auto* t = static_cast<TcbObj*>(copy);
+        fix_tcb(t->sched_next);
+        fix_tcb(t->sched_prev);
+        fix_tcb(t->ep_next);
+        fix_tcb(t->ep_prev);
+        fix_tcb(t->reply_to);
+        break;
+      }
+      case ObjType::kCNode: {
+        auto* cn = static_cast<CNodeObj*>(copy);
+        for (CapSlot& s : cn->slots) {
+          fix_slot(s.mdb_prev);
+          fix_slot(s.mdb_next);
+        }
+        break;
+      }
+      case ObjType::kPageTable: {
+        auto* pt = static_cast<PageTableObj*>(copy);
+        for (CapSlot*& s : pt->shadow) {
+          fix_slot(s);
+        }
+        break;
+      }
+      case ObjType::kPageDir: {
+        auto* pd = static_cast<PageDirObj*>(copy);
+        for (CapSlot*& s : pd->shadow) {
+          fix_slot(s);
+        }
+        break;
+      }
+      default:
+        break;  // untyped, frame, ASID pool, IRQ handler: address-based only
+    }
+  };
+  for (const auto& [base, obj] : objs_.objects()) {
+    fix_object(obj.get());
+  }
+  for (const auto& [base, ut] : objs_.untypeds()) {
+    fix_object(ut.get());
+  }
+  {
+    // Idle's links are normally null (it is never enqueued), but remap them
+    // anyway so a future scheduler change cannot silently alias heaps.
+    fix_tcb(k->idle_->sched_next);
+    fix_tcb(k->idle_->sched_prev);
+    fix_tcb(k->idle_->ep_next);
+    fix_tcb(k->idle_->ep_prev);
+    fix_tcb(k->idle_->reply_to);
+  }
+
+  // Pass 4: kernel-level roots.
+  for (RunQueue& q : k->queues_) {
+    fix_tcb(q.head);
+    fix_tcb(q.tail);
+  }
+  fix_tcb(k->current_);
+  fix_tcb(k->sched_action_);
+  return k;
+}
+
+}  // namespace pmk

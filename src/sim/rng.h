@@ -1,0 +1,56 @@
+// Deterministic PRNG shared by the fault campaigns and the parallel engine.
+//
+// SplitMix64 (Steele/Lea/Flood): 64-bit state, one multiply-xorshift round
+// per draw. Chosen over std::mt19937 because its output sequence is fixed by
+// the algorithm itself, not by library implementation details — a report for
+// a given seed must be byte-identical across standard libraries and
+// platforms, whether it was produced serially or by a sharded parallel run.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace pmk {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    return Mix64(z);
+  }
+
+  // Uniform draw in [0, bound). |bound| must be nonzero. The modulo bias is
+  // ~bound/2^64 — irrelevant for scheduling fuzz, and keeping the draw a
+  // single Next() call makes the consumed-stream position easy to reason
+  // about when reproducing a scenario by hand.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  // Derives the |stream_id|-th independent child stream without advancing
+  // this generator. This is the sharding primitive of the parallel engine:
+  // every job derives its stream from (campaign seed, job ordinal) alone, so
+  // the values a job draws are a pure function of its ordinal — never of
+  // which worker thread ran it or in what order jobs finished. Running with
+  // --jobs N therefore consumes exactly the same per-job sequences as
+  // --jobs 1. The child seed passes through the output finalizer, so child
+  // streams do not overlap the parent's plain additive state walk.
+  SplitMix64 Split(std::uint64_t stream_id) const {
+    return SplitMix64(Mix64(state_ + 0x9E3779B97F4A7C15ull * (stream_id + 1)));
+  }
+
+  // The SplitMix64 output finalizer as a pure function.
+  static std::uint64_t Mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pmk
+
+#endif  // SRC_SIM_RNG_H_

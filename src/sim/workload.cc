@@ -22,6 +22,20 @@ System::System(const KernelConfig& kc, const MachineConfig& mc)
   }
 }
 
+std::unique_ptr<System> System::Clone() const {
+  std::unique_ptr<System> copy(new System());
+  copy->kernel_config = kernel_config;
+  copy->machine_config = machine_config;
+  copy->machine_ = std::make_unique<Machine>(*machine_);
+  copy->kernel_ = kernel_->Clone(copy->machine_.get());
+  copy->root_ = copy->kernel_->objects().Get<CNodeObj>(root_->base);
+  if (copy->root_ == nullptr) {
+    throw std::logic_error("System::Clone: root CNode missing from cloned heap");
+  }
+  copy->next_slot_ = next_slot_;
+  return copy;
+}
+
 void System::AttachTraceSink(TraceSink* sink) {
   kernel_->exec().set_trace_sink(sink);
   machine_->irq().set_trace_sink(sink);

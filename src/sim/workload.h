@@ -24,6 +24,14 @@ class System {
  public:
   System(const KernelConfig& kernel_config, const MachineConfig& machine_config);
 
+  // Deep-copies the whole simulation state — machine (caches, branch
+  // predictor, IRQ controller, timer, cycle/PMU counters) and kernel (object
+  // heap with remapped pointers, scheduler, bindings) — sharing only the
+  // immutable kernel image. The clone replays cycle-for-cycle identically to
+  // the original; src/engine checkpoints are built on this. Trace sinks and
+  // fault hooks are not carried over. Must be called between kernel entries.
+  std::unique_ptr<System> Clone() const;
+
   Machine& machine() { return *machine_; }
   Kernel& kernel() { return *kernel_; }
 
@@ -81,6 +89,8 @@ class System {
   MachineConfig machine_config;
 
  private:
+  System() = default;  // Clone() assembles the members itself
+
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Kernel> kernel_;
   CNodeObj* root_ = nullptr;
