@@ -1,0 +1,316 @@
+// bench_sim_hotpath — single-thread hot-path benchmark with self-check.
+//
+// Runs campaign-shaped workloads twice: once through the retained reference
+// path (the seed implementation's cost profile: division-based cache
+// indexing, out-of-line per-access calls, tick-every-advance timer, generic
+// per-execution span arithmetic) and once through the optimised hot path
+// (SoA shift/mask cache, precomputed block spans, cached timer deadline).
+// Both passes must produce bit-identical modelled results — the benchmark
+// digests every observable output and FAILS (nonzero exit) on any mismatch.
+// The speedup numbers are informational; only the self-check gates.
+//
+//   $ bench_sim_hotpath [--quick] [--json=BENCH_hotpath.json] [--csv]
+//
+// Writes BENCH_hotpath.json (ns per modelled cycle, runs/sec, before/after
+// seconds, speedup, self-check verdict) unless --json= overrides the path.
+//
+// Timing convention: reference and optimised repetitions are interleaved
+// (ref, opt, ref, opt, ...) so ambient host load disturbs both paths alike,
+// each repetition is timed individually, and the reported speedup is the
+// ratio of best (minimum) repetition times. Both paths are deterministic and
+// identical across repetitions, so the minimum is the run least disturbed by
+// the host scheduler — total seconds are also reported.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/fault/campaign.h"
+#include "src/fault/scenario.h"
+#include "src/hw/hotpath.h"
+#include "src/sim/report.h"
+#include "src/sim/workload.h"
+
+namespace pmk {
+namespace {
+
+std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t FnvU64(std::uint64_t h, std::uint64_t v) { return Fnv1a(h, &v, sizeof(v)); }
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+
+// One workload measured in one mode: wall-clock seconds, total modelled
+// cycles simulated (0 where the workload has no single cycle counter) and a
+// digest of every modelled observable.
+struct Measurement {
+  double seconds = 0;           // sum over repetitions
+  double best_rep_seconds = 0;  // minimum single repetition
+  std::uint64_t modelled_cycles = 0;
+  std::uint64_t digest = kFnvBasis;
+
+  void RecordRep(double dt) {
+    seconds += dt;
+    best_rep_seconds = best_rep_seconds == 0 ? dt : std::min(best_rep_seconds, dt);
+  }
+};
+
+struct WorkloadResult {
+  std::string name;
+  std::uint32_t runs = 0;
+  Measurement reference;
+  Measurement optimized;
+
+  bool identical() const { return reference.digest == optimized.digest; }
+  // Ratio of best (least-disturbed) repetition times; see header comment.
+  double Speedup() const {
+    return optimized.best_rep_seconds > 0
+               ? reference.best_rep_seconds / optimized.best_rep_seconds
+               : 0;
+  }
+  // ns of host time per modelled cycle on the optimised path.
+  double NsPerCycle() const {
+    return optimized.modelled_cycles > 0
+               ? optimized.seconds * 1e9 / static_cast<double>(optimized.modelled_cycles)
+               : 0;
+  }
+  double RunsPerSec() const {
+    return optimized.seconds > 0 ? runs / optimized.seconds : 0;
+  }
+};
+
+// --- Workload 1: runner-shaped timer-preempt loop -------------------------
+// An attacker retypes large frames under a periodic timer while a
+// high-priority thread services every firing; preemptions, restarts and
+// interrupt latencies all feed the digest. This is the single-system shape
+// every campaign run has, so its ns/modelled-cycle is the engine's unit cost.
+
+std::uint64_t TimerPreemptOnce(std::uint64_t digest, std::uint64_t* cycles) {
+  System sys(KernelConfig::After(), EvalMachine(true));
+  EndpointObj* timer_ep = nullptr;
+  const std::uint32_t timer_cptr = sys.AddEndpoint(&timer_ep);
+  TcbObj* rt_task = sys.AddThread(250);
+  sys.kernel().DirectBindIrq(InterruptController::kTimerLine, timer_ep);
+  sys.kernel().DirectBlockOnRecv(rt_task, timer_ep);
+  const std::uint32_t ut_cptr = sys.AddUntyped(23);
+  TcbObj* attacker = sys.AddThread(20);
+  sys.kernel().DirectSetCurrent(attacker);
+
+  sys.machine().timer().set_period(20'000);
+  sys.machine().timer().Restart(sys.machine().Now());
+
+  std::uint32_t dest = 40;
+  std::uint32_t preemptions = 0;
+  // Enough steps that modelled execution, not system construction, dominates
+  // — the regime a long campaign is in.
+  for (int step = 0; step < 1000; ++step) {
+    if (sys.machine().irq().AnyPending() && sys.kernel().current() != rt_task) {
+      sys.kernel().HandleIrqEntry();
+    }
+    if (sys.kernel().current() == rt_task) {
+      sys.machine().RawCycles(200);
+      sys.kernel().Syscall(SysOp::kRecv, timer_cptr, SyscallArgs{});
+      sys.machine().irq().Unmask(InterruptController::kTimerLine);
+      if (sys.kernel().current() == sys.kernel().idle()) {
+        sys.kernel().DirectSetCurrent(attacker);
+      }
+      continue;
+    }
+    SyscallArgs args;
+    args.label = InvLabel::kUntypedRetype;
+    args.obj_type = ObjType::kFrame;
+    args.obj_bits = 16;
+    args.dest_index = dest;
+    const KernelExit e = sys.kernel().Syscall(SysOp::kCall, ut_cptr, args);
+    if (e == KernelExit::kPreempted) {
+      preemptions++;
+    } else if (attacker->last_error == KError::kOk) {
+      dest++;
+    }
+    if (sys.kernel().current() == sys.kernel().idle()) {
+      sys.kernel().DirectSetCurrent(attacker);
+    }
+    sys.machine().RawCycles(500);
+  }
+  sys.machine().timer().set_period(0);
+
+  *cycles += sys.machine().Now();
+  digest = FnvU64(digest, sys.machine().Now());
+  digest = FnvU64(digest, preemptions);
+  const HwCounters& hc = sys.machine().counters();
+  digest = FnvU64(digest, hc.instructions);
+  digest = FnvU64(digest, hc.l1i_accesses);
+  digest = FnvU64(digest, hc.l1i_misses);
+  digest = FnvU64(digest, hc.l1d_accesses);
+  digest = FnvU64(digest, hc.l1d_misses);
+  digest = FnvU64(digest, hc.l2_accesses);
+  digest = FnvU64(digest, hc.l2_misses);
+  digest = FnvU64(digest, hc.branches);
+  digest = FnvU64(digest, hc.branch_mispredicts);
+  digest = FnvU64(digest, hc.mem_stall_cycles);
+  for (const Cycles lat : sys.kernel().irq_latencies()) {
+    digest = FnvU64(digest, lat);
+  }
+  return digest;
+}
+
+void RepTimerPreempt(Measurement& m) {
+  m.digest = TimerPreemptOnce(m.digest, &m.modelled_cycles);
+}
+
+// --- Workload 2: exhaustive IRQ sweep -------------------------------------
+// The fault subsystem's tentpole: a dry run plus one injected run per
+// preemption boundary of the canonical retype operation.
+
+void RepIrqSweep(Measurement& m) {
+  const SweepResult r = ExhaustiveIrqSweep(MakeRetypeCase(), SweepOptions{});
+  m.digest = FnvU64(m.digest, r.preempt_points);
+  m.digest = FnvU64(m.digest, r.dry_run.max_irq_latency);
+  for (const RunRecord& run : r.runs) {
+    m.digest = FnvU64(m.digest, run.ok() ? 1 : 0);
+    m.digest = FnvU64(m.digest, run.restarts);
+    m.digest = FnvU64(m.digest, run.preempt_points);
+    m.digest = FnvU64(m.digest, run.max_irq_latency);
+    m.digest = Fnv1a(m.digest, run.plan.data(), run.plan.size());
+  }
+}
+
+// --- Workload 3: seeded mixed campaign ------------------------------------
+// All five campaign modes at seed 42; the digest is the byte-exact CSV, the
+// repository's canonical determinism artefact.
+
+void RepCampaign(Measurement& m) {
+  CampaignConfig cc;
+  cc.seed = 42;
+  cc.random_runs = 8;
+  cc.storm_runs = 2;
+  cc.hostile_runs = 32;
+  cc.spurious_runs = 8;
+  std::ostringstream csv;
+  RunCampaign(cc).WriteCsv(csv);
+  const std::string s = csv.str();
+  m.digest = Fnv1a(m.digest, s.data(), s.size());
+}
+
+// Runs |reps| reference/optimised repetition pairs, interleaved so ambient
+// host load disturbs both paths alike, and times each repetition
+// individually. The digest chains per mode across repetitions, so mode
+// switching between repetitions cannot mask a divergence.
+WorkloadResult RunWorkload(const std::string& name, std::uint32_t reps,
+                           void (*rep)(Measurement&)) {
+  WorkloadResult r;
+  r.name = name;
+  r.runs = reps;
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    hotpath::SetReferenceMode(true);
+    auto t0 = std::chrono::steady_clock::now();
+    rep(r.reference);
+    r.reference.RecordRep(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    hotpath::SetReferenceMode(false);
+    t0 = std::chrono::steady_clock::now();
+    rep(r.optimized);
+    r.optimized.RecordRep(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  std::printf("  %-24s ref %.3fs  opt %.3fs  speedup %.2fx  %s\n", name.c_str(),
+              r.reference.seconds, r.optimized.seconds, r.Speedup(),
+              r.identical() ? "[outputs identical]" : "[OUTPUT MISMATCH]");
+  return r;
+}
+
+void WriteJson(std::ostream& os, const std::vector<WorkloadResult>& results) {
+  os << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"runs\": %u,\n"
+                  "      \"modelled_cycles\": %llu,\n"
+                  "      \"reference_seconds\": %.6f,\n"
+                  "      \"optimized_seconds\": %.6f,\n"
+                  "      \"reference_best_rep_seconds\": %.6f,\n"
+                  "      \"optimized_best_rep_seconds\": %.6f,\n"
+                  "      \"speedup\": %.2f,\n"
+                  "      \"ns_per_modelled_cycle\": %.3f,\n"
+                  "      \"runs_per_sec\": %.1f,\n"
+                  "      \"identical_output\": %s\n"
+                  "    }%s\n",
+                  r.name.c_str(), r.runs,
+                  static_cast<unsigned long long>(r.optimized.modelled_cycles),
+                  r.reference.seconds, r.optimized.seconds,
+                  r.reference.best_rep_seconds, r.optimized.best_rep_seconds,
+                  r.Speedup(), r.NsPerCycle(),
+                  r.RunsPerSec(), r.identical() ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace pmk
+
+int main(int argc, char** argv) {
+  using namespace pmk;
+  const bool quick = HasFlag(argc, argv, "--quick");
+  std::string json_path = FlagValue(argc, argv, "--json=");
+  if (json_path.empty()) {
+    json_path = "BENCH_hotpath.json";
+  }
+
+  std::printf("Hot-path benchmark: reference (seed cost profile) vs optimised inner loop.\n");
+  std::printf("Mode: %s\n\n", quick ? "quick (CI smoke)" : "full");
+
+  std::vector<WorkloadResult> results;
+  results.push_back(
+      RunWorkload("timer-preempt-runner", quick ? 5 : 40, RepTimerPreempt));
+  results.push_back(RunWorkload("irq-sweep-retype", quick ? 3 : 30, RepIrqSweep));
+  results.push_back(RunWorkload("campaign-mixed-seed42", quick ? 1 : 8, RepCampaign));
+
+  Table t({"workload", "runs", "ref s", "opt s", "speedup", "ns/cycle", "runs/s", "identical"});
+  for (const WorkloadResult& r : results) {
+    char ref_s[32], opt_s[32], ns[32], rps[32];
+    std::snprintf(ref_s, sizeof(ref_s), "%.3f", r.reference.seconds);
+    std::snprintf(opt_s, sizeof(opt_s), "%.3f", r.optimized.seconds);
+    std::snprintf(ns, sizeof(ns), "%.3f", r.NsPerCycle());
+    std::snprintf(rps, sizeof(rps), "%.1f", r.RunsPerSec());
+    t.AddRow({r.name, std::to_string(r.runs), ref_s, opt_s, Table::Ratio(r.Speedup()), ns,
+              rps, r.identical() ? "yes" : "NO"});
+  }
+  std::printf("\n");
+  if (HasFlag(argc, argv, "--csv")) {
+    t.PrintCsv();
+  } else {
+    t.Print();
+  }
+
+  std::ofstream json(json_path);
+  WriteJson(json, results);
+  std::printf("\nWrote %s\n", json_path.c_str());
+
+  bool all_identical = true;
+  for (const WorkloadResult& r : results) {
+    all_identical = all_identical && r.identical();
+  }
+  if (!all_identical) {
+    std::printf("SELF-CHECK FAILED: reference and optimised outputs differ.\n");
+    return 1;
+  }
+  std::printf("Self-check passed: all modelled outputs bit-identical across paths.\n");
+  return 0;
+}

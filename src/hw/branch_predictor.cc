@@ -16,13 +16,20 @@ void BranchPredictor::Reset() {
   mispredicts_ = 0;
 }
 
-Cycles BranchPredictor::OnBranch(Addr pc, BranchKind kind, bool taken) {
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+Cycles BranchPredictor::OnBranchReference(Addr pc, BranchKind kind, bool taken) {
   if (kind == BranchKind::kNone) {
     return 0;
   }
   if (!config_.enabled) {
     return config_.disabled_cost;
   }
+  return OnBranchEnabled(pc, kind, taken);
+}
+
+Cycles BranchPredictor::OnBranchEnabled(Addr pc, BranchKind kind, bool taken) {
   // Unconditional branches and returns hit the BTB / return stack; model them
   // as predicted correctly after first sight.
   Entry& e = btb_[pc % btb_.size()];

@@ -41,7 +41,21 @@ class BranchPredictor {
 
   // Records the outcome of the branch terminating the block at |pc| and
   // returns its cost in cycles. |taken| reports the actual direction.
-  Cycles OnBranch(Addr pc, BranchKind kind, bool taken);
+  // Inline: charged on every block transition, and the common
+  // predictor-disabled configuration reduces to two compares.
+  Cycles OnBranch(Addr pc, BranchKind kind, bool taken) {
+    if (kind == BranchKind::kNone) {
+      return 0;
+    }
+    if (!config_.enabled) {
+      return config_.disabled_cost;
+    }
+    return OnBranchEnabled(pc, kind, taken);
+  }
+
+  // Benchmark reference path: identical outcome to OnBranch but out of line,
+  // the seed's per-branch call cost.
+  Cycles OnBranchReference(Addr pc, BranchKind kind, bool taken);
 
   void Reset();
 
@@ -49,6 +63,9 @@ class BranchPredictor {
   std::uint64_t mispredicts() const { return mispredicts_; }
 
  private:
+  // BTB/counter update for the predictor-enabled configuration.
+  Cycles OnBranchEnabled(Addr pc, BranchKind kind, bool taken);
+
   struct Entry {
     Addr pc = 0;
     std::uint8_t counter = 1;  // 2-bit saturating counter, weakly not-taken

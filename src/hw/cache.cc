@@ -3,82 +3,115 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <stdexcept>
+
+#include "src/hw/hotpath.h"
 
 namespace pmk {
 
+void CacheConfig::Validate() const {
+  if (ways < 1) {
+    throw std::invalid_argument("CacheConfig '" + name + "': ways must be >= 1");
+  }
+  if (line_bytes == 0 || !std::has_single_bit(line_bytes)) {
+    throw std::invalid_argument("CacheConfig '" + name + "': line_bytes (" +
+                                std::to_string(line_bytes) + ") must be a power of two");
+  }
+  if (size_bytes == 0 || size_bytes % (ways * line_bytes) != 0) {
+    throw std::invalid_argument("CacheConfig '" + name + "': size_bytes (" +
+                                std::to_string(size_bytes) + ") must be a non-zero multiple of " +
+                                "ways * line_bytes (" + std::to_string(ways * line_bytes) + ")");
+  }
+  if (!std::has_single_bit(NumSets())) {
+    throw std::invalid_argument("CacheConfig '" + name + "': set count (" +
+                                std::to_string(NumSets()) + ") must be a power of two");
+  }
+}
+
+namespace {
+// Validation must precede the member initializers below: NumSets() divides by
+// ways * line_bytes, which an invalid config can make zero.
+const CacheConfig& Validated(const CacheConfig& config) {
+  config.Validate();
+  return config;
+}
+}  // namespace
+
 Cache::Cache(const CacheConfig& config)
-    : config_(config),
+    : config_(Validated(config)),
       num_sets_(config.NumSets()),
-      lines_(static_cast<std::size_t>(config.NumSets()) * config.ways),
+      ways_(config.ways),
+      line_shift_(0),
+      tag_shift_(0),
+      set_mask_(0),
+      all_ways_mask_(config.ways >= 32 ? ~0u : ((1u << config.ways) - 1)),
+      tags_(static_cast<std::size_t>(config.NumSets()) * config.ways, kInvalidTag),
       rr_next_(config.NumSets(), 0) {
-  assert(std::has_single_bit(config_.line_bytes));
-  assert(std::has_single_bit(num_sets_));
-  assert(config_.ways >= 1);
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config_.line_bytes));
+  tag_shift_ = line_shift_ + static_cast<std::uint32_t>(std::countr_zero(num_sets_));
+  set_mask_ = num_sets_ - 1;
+  if (hotpath::ReferenceMode()) {
+    ref_lines_.resize(tags_.size());
+  }
 }
 
-std::uint32_t Cache::SetIndexOf(Addr addr) const {
-  return static_cast<std::uint32_t>((addr / config_.line_bytes) & (num_sets_ - 1));
-}
-
-Addr Cache::TagOf(Addr addr) const { return addr / config_.line_bytes / num_sets_; }
-
-bool Cache::Access(Addr addr) {
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+bool Cache::AccessReference(Addr addr) {
+  // Mirrors the seed implementation byte-for-byte in behaviour and in host
+  // cost: set and tag come from divisions by runtime values (the compiler
+  // cannot reduce them to shifts), the lookup walks the array-of-structs
+  // {tag, valid} mirror the seed stored lines in, and the whole thing runs
+  // out of line. State changes land in both the mirror and the flat tag
+  // array so every other entry point sees them. Keep in sync with
+  // AccessLine(); hotpath_equivalence_test cross-checks the two.
+  if (ref_lines_.empty()) {
+    SyncRefMirror();
+  }
   stats_.accesses++;
-  const std::uint32_t set = SetIndexOf(addr);
-  const Addr tag = TagOf(addr);
-  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  const std::uint32_t set = static_cast<std::uint32_t>((addr / config_.line_bytes) & (num_sets_ - 1));
+  const Addr tag = addr / config_.line_bytes / num_sets_;
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
+    if (ref_lines_[base + w].valid && ref_lines_[base + w].tag == tag) {
       stats_.hits++;
       return true;
     }
   }
   stats_.misses++;
-  // Allocate, unless every way is locked (then the line bypasses the cache).
-  const std::uint32_t all_ways = (config_.ways >= 32) ? ~0u : ((1u << config_.ways) - 1);
-  if ((locked_ways_ & all_ways) == all_ways) {
+  if ((locked_ways_ & all_ways_mask_) == all_ways_mask_) {
     return false;
   }
-  const std::uint32_t victim = PickVictim(set);
-  base[victim].tag = tag;
-  base[victim].valid = true;
-  return false;
-}
-
-bool Cache::Contains(Addr addr) const {
-  const std::uint32_t set = SetIndexOf(addr);
-  const Addr tag = TagOf(addr);
-  const Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
-  for (std::uint32_t w = 0; w < config_.ways; ++w) {
-    if (base[w].valid && base[w].tag == tag) {
-      return true;
-    }
-  }
+  const std::uint32_t victim = PickVictim<0>(set);
+  ref_lines_[base + victim].tag = tag;
+  ref_lines_[base + victim].valid = true;
+  tags_[base + victim] = tag;
   return false;
 }
 
 void Cache::InstallLine(Addr addr, std::uint32_t way) {
-  assert(way < config_.ways);
-  const std::uint32_t set = SetIndexOf(addr);
-  Line& line = lines_[static_cast<std::size_t>(set) * config_.ways + way];
-  line.tag = TagOf(addr);
-  line.valid = true;
+  assert(way < ways_);
+  const std::size_t idx = static_cast<std::size_t>(SetIndexOf(addr)) * ways_ + way;
+  tags_[idx] = TagOf(addr);
+  if (!ref_lines_.empty()) {
+    ref_lines_[idx] = {TagOf(addr), true};
+  }
 }
 
 void Cache::LockWay(std::uint32_t way) {
-  assert(way < config_.ways);
+  assert(way < ways_);
   locked_ways_ |= (1u << way);
 }
 
 void Cache::UnlockWay(std::uint32_t way) {
-  assert(way < config_.ways);
+  assert(way < ways_);
   locked_ways_ &= ~(1u << way);
 }
 
 void Cache::InvalidateAll() {
-  for (Line& line : lines_) {
-    line.valid = false;
-  }
+  std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+  std::fill(ref_lines_.begin(), ref_lines_.end(), RefLine{});
 }
 
 void Cache::Pollute(Addr garbage_base, double fraction) {
@@ -91,44 +124,37 @@ void Cache::Pollute(Addr garbage_base, double fraction) {
     if ((set * 2654435761u >> 6) % 1024 >= threshold) {
       continue;
     }
-    Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
-    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
       if (locked_ways_ & (1u << w)) {
         continue;
       }
       const Addr addr = garbage_base +
                         (static_cast<Addr>(w) * num_sets_ + set) * config_.line_bytes;
-      base[w].tag = TagOf(addr);
-      base[w].valid = true;
+      tags_[base + w] = TagOf(addr);
+      if (!ref_lines_.empty()) {
+        ref_lines_[base + w] = {TagOf(addr), true};
+      }
     }
   }
 }
 
-std::uint32_t Cache::PickVictim(std::uint32_t set) {
-  // Find an unlocked victim way according to the replacement policy.
-  if (config_.policy == ReplacementPolicy::kRoundRobin) {
-    std::uint32_t w = rr_next_[set];
-    for (std::uint32_t tries = 0; tries < config_.ways; ++tries) {
-      const std::uint32_t cand = (w + tries) % config_.ways;
-      if (!(locked_ways_ & (1u << cand))) {
-        rr_next_[set] = (cand + 1) % config_.ways;
-        return cand;
-      }
-    }
-  } else {
-    for (std::uint32_t tries = 0; tries < 4 * config_.ways; ++tries) {
-      // 16-bit Galois LFSR.
-      lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xB400u);
-      const std::uint32_t cand = static_cast<std::uint32_t>(lfsr_) % config_.ways;
-      if (!(locked_ways_ & (1u << cand))) {
-        return cand;
-      }
-    }
-    // Degenerate fallback: first unlocked way.
-    for (std::uint32_t cand = 0; cand < config_.ways; ++cand) {
-      if (!(locked_ways_ & (1u << cand))) {
-        return cand;
-      }
+void Cache::SyncRefMirror() {
+  // Builds the seed-layout mirror from the flat tag array; used when
+  // AccessReference is first called on a cache constructed outside reference
+  // mode (equivalence tests exercise this).
+  ref_lines_.resize(tags_.size());
+  for (std::size_t i = 0; i < tags_.size(); ++i) {
+    ref_lines_[i] = tags_[i] == kInvalidTag ? RefLine{} : RefLine{tags_[i], true};
+  }
+}
+
+std::uint32_t Cache::PickVictimFallback() {
+  // First unlocked way; reached only from degenerate PickVictim exits
+  // (callers guarantee at least one way is unlocked).
+  for (std::uint32_t cand = 0; cand < ways_; ++cand) {
+    if (!(locked_ways_ & (1u << cand))) {
+      return cand;
     }
   }
   assert(false && "PickVictim called with all ways locked");

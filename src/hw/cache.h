@@ -5,6 +5,15 @@
 // ARM1136 allows a subset of ways to be excluded from replacement, which is
 // how the paper pins the interrupt-delivery path into 1/4 of each L1 cache
 // (Section 4).
+//
+// Hot-path layout: the line array is a flat tag array (way-major within a
+// set) where an invalid line holds the unreachable sentinel kInvalidTag, so
+// residency needs no separate valid bit — one load and one compare per way.
+// The geometry is reduced to shifts and masks validated at construction, so
+// a lookup is a handful of loads with no divisions. Every simulated memory
+// access in the repository funnels through Access()/AccessLine(); they are
+// defined inline here so the executor's inner loop does not pay a cross-TU
+// call per access.
 
 #ifndef SRC_HW_CACHE_H_
 #define SRC_HW_CACHE_H_
@@ -30,6 +39,12 @@ struct CacheConfig {
   ReplacementPolicy policy = ReplacementPolicy::kRoundRobin;
 
   std::uint32_t NumSets() const { return size_bytes / (ways * line_bytes); }
+
+  // Throws std::invalid_argument unless the geometry is modellable:
+  // power-of-two line_bytes and NumSets(), ways >= 1, and size_bytes evenly
+  // divisible by ways * line_bytes (silent truncation in NumSets() would
+  // otherwise mis-size the cache).
+  void Validate() const;
 };
 
 // Statistics counters for one cache instance.
@@ -43,14 +58,51 @@ struct CacheStats {
 
 class Cache {
  public:
+  // Validates |config| (see CacheConfig::Validate) and precomputes the
+  // shift/mask geometry.
   explicit Cache(const CacheConfig& config);
 
   // Looks up |addr|; on a miss, allocates the line into a victim way chosen
   // among unlocked ways. Returns true on hit.
-  bool Access(Addr addr);
+  bool Access(Addr addr) { return AccessLine(SetIndexOf(addr), TagOf(addr)); }
+
+  // Split entry point for callers that already know the line's set and tag
+  // (e.g. precomputed instruction-fetch spans). Identical state transitions
+  // and statistics to Access(); Access(a) == AccessLine(SetIndexOf(a),
+  // TagOf(a)) by construction. Dispatches to a way-count-specialised body for
+  // the two modelled geometries (4-way L1, 8-way L2) so the compiler unrolls
+  // the tag scan.
+  bool AccessLine(std::uint32_t set, Addr tag) {
+    if (ways_ == 4) {
+      return AccessLineImpl<4>(set, tag);
+    }
+    if (ways_ == 8) {
+      return AccessLineImpl<8>(set, tag);
+    }
+    return AccessLineImpl<0>(set, tag);
+  }
 
   // Returns true if |addr|'s line is currently resident (no state change).
-  bool Contains(Addr addr) const;
+  bool Contains(Addr addr) const {
+    const std::size_t base = static_cast<std::size_t>(SetIndexOf(addr)) * ways_;
+    const Addr tag = TagOf(addr);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (tags_[base + w] == tag) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Benchmark reference path: the seed implementation's per-access cost
+  // profile — an out-of-line call whose set/tag arithmetic divides by the
+  // runtime line size and set count instead of using the precomputed shifts,
+  // and whose lookups walk the seed's array-of-structs {tag, valid} line
+  // array (ref_lines_) rather than the flat tag array. State transitions and
+  // statistics are identical to Access(); only the host-side cost differs.
+  // bench_sim_hotpath uses this as the pre-optimisation baseline and
+  // self-checks output equality.
+  bool AccessReference(Addr addr);
 
   // Loads |addr|'s line into way |way| and marks it resident, regardless of
   // locking. Used to pre-load lines that will then be pinned.
@@ -75,21 +127,97 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
-  std::uint32_t SetIndexOf(Addr addr) const;
-  Addr TagOf(Addr addr) const;
+  std::uint32_t SetIndexOf(Addr addr) const {
+    return static_cast<std::uint32_t>((addr >> line_shift_) & set_mask_);
+  }
+  Addr TagOf(Addr addr) const { return addr >> tag_shift_; }
 
  private:
-  struct Line {
-    Addr tag = 0;
-    bool valid = false;
-  };
+  // Way-count-specialised lookup body; |kWays| == 0 means runtime ways_.
+  template <std::uint32_t kWays>
+  bool AccessLineImpl(std::uint32_t set, Addr tag) {
+    const std::uint32_t ways = kWays != 0 ? kWays : ways_;
+    stats_.accesses++;
+    const std::size_t base = static_cast<std::size_t>(set) * ways;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      if (tags_[base + w] == tag) {
+        stats_.hits++;
+        return true;
+      }
+    }
+    stats_.misses++;
+    // Allocate, unless every way is locked (then the line bypasses the cache).
+    if ((locked_ways_ & all_ways_mask_) == all_ways_mask_) {
+      return false;
+    }
+    const std::uint32_t victim = PickVictim<kWays>(set);
+    tags_[base + victim] = tag;
+    return false;
+  }
 
-  // Chooses the victim way among unlocked ways for |set|.
-  std::uint32_t PickVictim(std::uint32_t set);
+  // Chooses the victim way among unlocked ways for |set|. Inline: allocating
+  // misses dominate streaming workloads, so this is as hot as the lookup.
+  template <std::uint32_t kWays>
+  std::uint32_t PickVictim(std::uint32_t set) {
+    const std::uint32_t ways = kWays != 0 ? kWays : ways_;
+    if (config_.policy == ReplacementPolicy::kRoundRobin) {
+      const std::uint32_t w = rr_next_[set];
+      if (locked_ways_ == 0) {
+        // Nothing pinned (the common case): take the pointer as-is.
+        rr_next_[set] = w + 1 == ways ? 0 : w + 1;
+        return w;
+      }
+      for (std::uint32_t tries = 0; tries < ways; ++tries) {
+        const std::uint32_t cand = (w + tries) % ways;
+        if (!(locked_ways_ & (1u << cand))) {
+          rr_next_[set] = (cand + 1) % ways;
+          return cand;
+        }
+      }
+      return PickVictimFallback();
+    }
+    for (std::uint32_t tries = 0; tries < 4 * ways; ++tries) {
+      // 16-bit Galois LFSR.
+      lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xB400u);
+      const std::uint32_t cand = static_cast<std::uint32_t>(lfsr_) % ways;
+      if (!(locked_ways_ & (1u << cand))) {
+        return cand;
+      }
+    }
+    return PickVictimFallback();
+  }
+
+  // Degenerate cases (all-locked assertion, LFSR exhaustion): out of line.
+  std::uint32_t PickVictimFallback();
+
+  // Populates ref_lines_ from tags_ (first AccessReference on a cache built
+  // outside reference mode).
+  void SyncRefMirror();
 
   CacheConfig config_;
   std::uint32_t num_sets_;
-  std::vector<Line> lines_;  // num_sets_ * ways, way-major within a set.
+  std::uint32_t ways_;
+  std::uint32_t line_shift_;      // log2(line_bytes)
+  std::uint32_t tag_shift_;       // log2(line_bytes * num_sets)
+  std::uint64_t set_mask_;        // num_sets - 1
+  std::uint32_t all_ways_mask_;   // (1 << ways) - 1 (saturated at 32 ways)
+  // Tag of an invalid (non-resident) line. Unreachable by construction: a
+  // real line's tag is addr >> tag_shift_, and no modelled address has all
+  // upper bits set.
+  static constexpr Addr kInvalidTag = ~Addr{0};
+
+  // Flat line array: num_sets * ways tags, way-major within a set
+  // (index = set * ways + way). Invalid lines hold kInvalidTag.
+  std::vector<Addr> tags_;
+  // Seed-layout mirror for AccessReference: the pre-optimisation
+  // array-of-structs line array. Sized only when the process is in reference
+  // mode (empty otherwise, so clones copy nothing); every cold mutator that
+  // touches tags_ keeps it in sync.
+  struct RefLine {
+    Addr tag = 0;
+    bool valid = false;
+  };
+  std::vector<RefLine> ref_lines_;
   std::vector<std::uint32_t> rr_next_;  // per-set round-robin pointer
   std::uint32_t locked_ways_ = 0;       // bitmask of locked ways
   std::uint64_t lfsr_ = 0xACE1u;        // pseudo-random replacement state

@@ -1,0 +1,15 @@
+#include "src/hw/hotpath.h"
+
+#include <atomic>
+
+namespace pmk::hotpath {
+
+namespace {
+std::atomic<bool> g_reference_mode{false};
+}  // namespace
+
+void SetReferenceMode(bool on) { g_reference_mode.store(on, std::memory_order_relaxed); }
+
+bool ReferenceMode() { return g_reference_mode.load(std::memory_order_relaxed); }
+
+}  // namespace pmk::hotpath

@@ -1,0 +1,30 @@
+// Process-wide hot-path mode switch for benchmarking.
+//
+// The simulator's inner loop (Executor::ChargeBlock -> Machine::InstrFetch /
+// DataAccess -> Cache::Access) has an optimised implementation (precomputed
+// block spans, shift/mask cache indexing, cached timer deadline) and a
+// reference implementation that reproduces the seed's per-access cost profile
+// (per-execution address arithmetic, division-based indexing, out-of-line
+// calls, tick-every-advance timer). Both produce bit-identical modelled
+// results; only host-side speed differs.
+//
+// bench_sim_hotpath flips this flag around whole workloads — campaigns and
+// sweeps construct Machines and Executors internally, and both consult the
+// flag at construction time. The flag is only ever toggled between workloads
+// (never while simulations run), so a relaxed atomic suffices even when a
+// workload fans out onto the job pool.
+
+#ifndef SRC_HW_HOTPATH_H_
+#define SRC_HW_HOTPATH_H_
+
+namespace pmk::hotpath {
+
+// When on, newly constructed Machines tick the timer on every Advance and
+// newly constructed Executors charge blocks through the reference entry
+// points. Defaults to off.
+void SetReferenceMode(bool on);
+bool ReferenceMode();
+
+}  // namespace pmk::hotpath
+
+#endif  // SRC_HW_HOTPATH_H_

@@ -1,5 +1,6 @@
 #include "src/hw/irq.h"
 
+#include <bit>
 #include <cassert>
 
 #include "src/obs/trace_sink.h"
@@ -8,7 +9,7 @@ namespace pmk {
 
 void InterruptController::Assert(std::uint32_t line, Cycles now) {
   assert(line < kNumLines);
-  if (pending_[line]) {
+  if (pending_bits_ & (1u << line)) {
     ++coalesced_asserts_;
     if (sink_ != nullptr) {
       TraceEvent e;
@@ -21,7 +22,7 @@ void InterruptController::Assert(std::uint32_t line, Cycles now) {
     }
     return;
   }
-  pending_[line] = true;
+  pending_bits_ |= 1u << line;
   assert_time_[line] = now;
   if (sink_ != nullptr) {
     TraceEvent e;
@@ -33,27 +34,17 @@ void InterruptController::Assert(std::uint32_t line, Cycles now) {
   }
 }
 
-bool InterruptController::AnyPending() const {
-  for (std::uint32_t i = 0; i < kNumLines; ++i) {
-    if (pending_[i] && !masked_[i]) {
-      return true;
-    }
-  }
-  return false;
-}
-
 std::optional<std::uint32_t> InterruptController::PendingLine() const {
-  for (std::uint32_t i = 0; i < kNumLines; ++i) {
-    if (pending_[i] && !masked_[i]) {
-      return i;
-    }
+  const std::uint32_t live = pending_bits_ & ~masked_bits_;
+  if (live == 0) {
+    return std::nullopt;
   }
-  return std::nullopt;
+  return static_cast<std::uint32_t>(std::countr_zero(live));
 }
 
 std::optional<Cycles> InterruptController::Acknowledge(std::uint32_t line) {
   assert(line < kNumLines);
-  if (!pending_[line]) {
+  if (!(pending_bits_ & (1u << line))) {
     ++spurious_acks_;
     if (sink_ != nullptr) {
       TraceEvent e;
@@ -65,23 +56,23 @@ std::optional<Cycles> InterruptController::Acknowledge(std::uint32_t line) {
     }
     return std::nullopt;
   }
-  pending_[line] = false;
+  pending_bits_ &= ~(1u << line);
   return assert_time_[line];
 }
 
 void InterruptController::Mask(std::uint32_t line) {
   assert(line < kNumLines);
-  masked_[line] = true;
+  masked_bits_ |= 1u << line;
 }
 
 void InterruptController::Unmask(std::uint32_t line) {
   assert(line < kNumLines);
-  masked_[line] = false;
+  masked_bits_ &= ~(1u << line);
 }
 
 bool InterruptController::IsPending(std::uint32_t line) const {
   assert(line < kNumLines);
-  return pending_[line];
+  return (pending_bits_ >> line) & 1u;
 }
 
 Cycles InterruptController::AssertTime(std::uint32_t line) const {
@@ -90,8 +81,8 @@ Cycles InterruptController::AssertTime(std::uint32_t line) const {
 }
 
 void InterruptController::Reset() {
-  pending_.fill(false);
-  masked_.fill(false);
+  pending_bits_ = 0;
+  masked_bits_ = 0;
   assert_time_.fill(0);
   spurious_acks_ = 0;
   coalesced_asserts_ = 0;
@@ -105,6 +96,7 @@ void IntervalTimer::Tick(Cycles now) {
     ic_->Assert(InterruptController::kTimerLine, next_fire_);
     next_fire_ += period_;
   }
+  RecomputeDeadline();
 }
 
 }  // namespace pmk

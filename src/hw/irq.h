@@ -31,8 +31,9 @@ class InterruptController {
   // absorbed into the already-pending state.
   void Assert(std::uint32_t line, Cycles now);
 
-  // True if any unmasked line is pending.
-  bool AnyPending() const;
+  // True if any unmasked line is pending. Inline: the kernel polls this at
+  // every preemption point, so it must stay one mask-and-test.
+  bool AnyPending() const { return (pending_bits_ & ~masked_bits_) != 0; }
 
   // Highest-priority (lowest-numbered) pending unmasked line, if any.
   std::optional<std::uint32_t> PendingLine() const;
@@ -63,8 +64,11 @@ class InterruptController {
   TraceSink* trace_sink() const { return sink_; }
 
  private:
-  std::array<bool, kNumLines> pending_{};
-  std::array<bool, kNumLines> masked_{};
+  // Pending and mask state as 32-bit registers (bit i = line i), mirroring
+  // the AVIC's INTSRCH/INTMSKH register layout; AnyPending()/PendingLine()
+  // reduce to one mask-and-test / count-trailing-zeros.
+  std::uint32_t pending_bits_ = 0;
+  std::uint32_t masked_bits_ = 0;
   std::array<Cycles, kNumLines> assert_time_{};
   std::uint64_t spurious_acks_ = 0;
   std::uint64_t coalesced_asserts_ = 0;
@@ -72,29 +76,68 @@ class InterruptController {
 };
 
 // Periodic timer that asserts kTimerLine on the interrupt controller.
+//
+// The timer maintains a cached next-deadline so the machine's hot path only
+// consults it (one load + compare, inline) instead of calling Tick() on every
+// single Advance. Every mutation of the firing schedule — set_period(),
+// Restart(), Tick() itself — recomputes the deadline, so direct pokes at
+// machine.timer() can never leave a stale deadline behind. Assertion cycles
+// are exactly those of the tick-every-advance scheme: between deadline
+// crossings Tick() was a no-op anyway.
 class IntervalTimer {
  public:
-  IntervalTimer(InterruptController* ic, Cycles period) : ic_(ic), period_(period) {}
+  // Deadline value when the timer can never fire (period 0).
+  static constexpr Cycles kNever = ~Cycles{0};
+
+  IntervalTimer(InterruptController* ic, Cycles period) : ic_(ic), period_(period) {
+    RecomputeDeadline();
+  }
 
   // Advances device time to |now|, asserting the timer line for every period
   // boundary crossed.
   void Tick(Cycles now);
 
+  // The earliest cycle at which Tick() would assert a line; kNever when the
+  // timer is disabled. Callers may skip Tick() entirely while now < this.
+  Cycles next_deadline() const { return deadline_; }
+
   Cycles period() const { return period_; }
-  void set_period(Cycles period) { period_ = period; }
+  void set_period(Cycles period) {
+    period_ = period;
+    RecomputeDeadline();
+  }
 
   // Re-arms the timer so its next firing is at |now| + period.
-  void Restart(Cycles now) { next_fire_ = now + period_; }
+  void Restart(Cycles now) {
+    next_fire_ = now + period_;
+    RecomputeDeadline();
+  }
 
   // Re-targets the timer at |ic|. Machine's copy constructor uses this to
   // point a copied timer at the copy's own controller instead of the
   // original's (the one pointer a memberwise Machine copy would get wrong).
   void RebindController(InterruptController* ic) { ic_ = ic; }
 
+  // Benchmark reference mode: forces next_deadline() to 0 so every Advance
+  // consults Tick(), reproducing the seed's tick-every-advance behaviour.
+  // Observable timer semantics are unchanged either way; bench_sim_hotpath
+  // uses this as the pre-optimisation baseline.
+  void set_reference_tick_mode(bool on) {
+    always_due_ = on;
+    RecomputeDeadline();
+  }
+  bool reference_tick_mode() const { return always_due_; }
+
  private:
+  void RecomputeDeadline() {
+    deadline_ = always_due_ ? 0 : (period_ == 0 ? kNever : next_fire_);
+  }
+
   InterruptController* ic_;
   Cycles period_;
   Cycles next_fire_ = 0;
+  Cycles deadline_ = 0;
+  bool always_due_ = false;
 };
 
 }  // namespace pmk

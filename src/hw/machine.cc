@@ -3,6 +3,8 @@
 #include <cassert>
 #include <vector>
 
+#include "src/hw/hotpath.h"
+
 namespace pmk {
 
 namespace {
@@ -11,6 +13,12 @@ constexpr std::uint32_t kInstrBytes = 4;
 constexpr Addr kPolluteBaseI = 0x4000'0000;
 constexpr Addr kPolluteBaseD = 0x5000'0000;
 constexpr Addr kPolluteBaseL2 = 0x6000'0000;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PMK_NOINLINE __attribute__((noinline))
+#else
+#define PMK_NOINLINE
+#endif
 }  // namespace
 
 Machine::Machine(const MachineConfig& config)
@@ -19,7 +27,11 @@ Machine::Machine(const MachineConfig& config)
       l1d_(config.l1d),
       l2_(config.l2),
       bpred_(config.bpred),
-      timer_(&irq_, config.timer_period) {}
+      timer_(&irq_, config.timer_period) {
+  if (hotpath::ReferenceMode()) {
+    timer_.set_reference_tick_mode(true);
+  }
+}
 
 Machine::Machine(const Machine& other)
     : config_(other.config_),
@@ -35,13 +47,13 @@ Machine::Machine(const Machine& other)
   irq_.set_trace_sink(nullptr);
 }
 
-Cycles Machine::MissPenalty(Addr addr) {
+PMK_NOINLINE Cycles Machine::MissPenaltyReference(Addr addr) {
   Cycles penalty;
   if (!config_.l2_enabled) {
     penalty = config_.memory.mem_latency_l2_off;
   } else {
     counters_.l2_accesses++;
-    if (l2_.Access(addr)) {
+    if (l2_.AccessReference(addr)) {
       penalty = config_.memory.l2_hit_latency;
     } else {
       counters_.l2_misses++;
@@ -52,12 +64,14 @@ Cycles Machine::MissPenalty(Addr addr) {
   return penalty;
 }
 
-void Machine::Advance(Cycles n) {
-  now_ += n;
-  timer_.Tick(now_);
-}
-
-void Machine::InstrFetch(Addr addr, std::uint32_t n_instr) {
+// Reference entries replicate the seed's per-execution cost profile: line
+// bounds recomputed with divisions, the cache indexed through the out-of-line
+// division-based AccessReference, and the result charged via an out-of-line
+// Advance that ticks the timer unconditionally (the per-instance reference
+// tick mode forces the deadline to 0 so the inline Advance's check always
+// takes the Tick branch). Keep charging in sync with InstrFetchLines and
+// DataAccess; hotpath_equivalence_test cross-checks them.
+PMK_NOINLINE void Machine::InstrFetchReference(Addr addr, std::uint32_t n_instr) {
   const std::uint32_t line = config_.l1i.line_bytes;
   Cycles cost = n_instr;  // 1 cycle per instruction, pipelined.
   counters_.instructions += n_instr;
@@ -65,36 +79,34 @@ void Machine::InstrFetch(Addr addr, std::uint32_t n_instr) {
   const Addr last_line = (addr + static_cast<Addr>(n_instr) * kInstrBytes - 1) / line;
   for (Addr l = first_line; l <= last_line; ++l) {
     counters_.l1i_accesses++;
-    if (!l1i_.Access(l * line)) {
+    if (!l1i_.AccessReference(l * line)) {
       counters_.l1i_misses++;
-      cost += MissPenalty(l * line);
+      cost += MissPenaltyReference(l * line);
     }
   }
   Advance(cost);
 }
 
-void Machine::DataAccess(Addr addr, bool write) {
+PMK_NOINLINE void Machine::DataAccessReference(Addr addr, bool write) {
   (void)write;  // write-allocate: same penalty either way
   Cycles cost = config_.memory.load_use_stall;  // pipeline result latency
   counters_.l1d_accesses++;
-  if (!l1d_.Access(addr)) {
+  if (!l1d_.AccessReference(addr)) {
     counters_.l1d_misses++;
-    cost += MissPenalty(addr);
+    cost += MissPenaltyReference(addr);
   }
   Advance(cost);
 }
 
-void Machine::Branch(Addr pc, BranchKind kind, bool taken) {
+PMK_NOINLINE void Machine::BranchReference(Addr pc, BranchKind kind, bool taken) {
   if (kind != BranchKind::kNone) {
     counters_.branches++;
   }
   const std::uint64_t mp_before = bpred_.mispredicts();
-  const Cycles cost = bpred_.OnBranch(pc, kind, taken);
+  const Cycles cost = bpred_.OnBranchReference(pc, kind, taken);
   counters_.branch_mispredicts += bpred_.mispredicts() - mp_before;
   Advance(cost);
 }
-
-void Machine::RawCycles(Cycles n) { Advance(n); }
 
 void Machine::PinL1(std::span<const Addr> icache_lines, std::span<const Addr> dcache_lines,
                     std::uint32_t ways) {

@@ -5,6 +5,13 @@
 // controller and an interval timer. All kernel execution costs are charged
 // through this class; it is the single source of truth for the cycle counter
 // (the analogue of the ARM1136 PMU cycle counter the paper measures with).
+//
+// The cost-charging entries (InstrFetch/InstrFetchLines/DataAccess/RawCycles)
+// are defined inline: they are the simulator's innermost loop and every
+// modelled cycle of every experiment passes through them. Advance() only
+// consults the interval timer when the cycle counter actually crosses its
+// cached deadline — assertion cycles are identical to ticking on every
+// advance (docs/performance.md).
 
 #ifndef SRC_HW_MACHINE_H_
 #define SRC_HW_MACHINE_H_
@@ -67,17 +74,74 @@ class Machine {
 
   // Fetches and executes |n_instr| sequential 4-byte instructions starting at
   // |addr|: 1 cycle per instruction plus I-cache refill penalties.
-  void InstrFetch(Addr addr, std::uint32_t n_instr);
+  void InstrFetch(Addr addr, std::uint32_t n_instr) {
+    const std::uint32_t line = config_.l1i.line_bytes;
+    const Addr first_line = addr / line;
+    const Addr last_line = (addr + static_cast<Addr>(n_instr) * 4 - 1) / line;
+    InstrFetchLines(first_line * line, static_cast<std::uint32_t>(last_line - first_line + 1),
+                    n_instr);
+  }
+
+  // Prepared-span variant: the caller already decomposed the fetch into
+  // |n_lines| consecutive I-cache lines starting at |first_line_addr| (the
+  // kir Program precomputes each block's span at Layout() time). Identical
+  // charging to InstrFetch.
+  void InstrFetchLines(Addr first_line_addr, std::uint32_t n_lines, std::uint32_t n_instr) {
+    Cycles cost = n_instr;  // 1 cycle per instruction, pipelined.
+    counters_.instructions += n_instr;
+    Addr line_addr = first_line_addr;
+    for (std::uint32_t l = 0; l < n_lines; ++l) {
+      counters_.l1i_accesses++;
+      if (!l1i_.Access(line_addr)) {
+        counters_.l1i_misses++;
+        cost += MissPenalty(line_addr);
+      }
+      line_addr += config_.l1i.line_bytes;
+    }
+    Advance(cost);
+  }
 
   // One data access (load or store). The access cycle itself is accounted as
   // part of the instruction; this charges only refill penalties.
-  void DataAccess(Addr addr, bool write);
+  void DataAccess(Addr addr, bool write) {
+    (void)write;  // write-allocate: same penalty either way
+    Cycles cost = config_.memory.load_use_stall;  // pipeline result latency
+    counters_.l1d_accesses++;
+    if (!l1d_.Access(addr)) {
+      counters_.l1d_misses++;
+      cost += MissPenalty(addr);
+    }
+    Advance(cost);
+  }
+
+  // Benchmark reference entries: identical charging to InstrFetch/DataAccess
+  // but through the seed's cost profile — out-of-line calls, division-based
+  // cache indexing (Cache::AccessReference), per-line address arithmetic
+  // recomputed per execution. bench_sim_hotpath drives these as the
+  // pre-optimisation baseline; combine with
+  // timer().set_reference_tick_mode(true) for the full seed hot path.
+  void InstrFetchReference(Addr addr, std::uint32_t n_instr);
+  void DataAccessReference(Addr addr, bool write);
 
   // Branch terminating the block at |pc| with actual direction |taken|.
-  void Branch(Addr pc, BranchKind kind, bool taken);
+  // Inline: one per block transition, and with the predictor disabled (the
+  // paper's measurement configuration) the cost is a constant.
+  void Branch(Addr pc, BranchKind kind, bool taken) {
+    if (kind != BranchKind::kNone) {
+      counters_.branches++;
+    }
+    const std::uint64_t mp_before = bpred_.mispredicts();
+    const Cycles cost = bpred_.OnBranch(pc, kind, taken);
+    counters_.branch_mispredicts += bpred_.mispredicts() - mp_before;
+    Advance(cost);
+  }
+
+  // Seed cost profile of Branch: out of line, through the out-of-line
+  // BranchPredictor::OnBranchReference. Identical state transitions.
+  void BranchReference(Addr pc, BranchKind kind, bool taken);
 
   // Charges |n| raw cycles (e.g. coprocessor operations, TLB maintenance).
-  void RawCycles(Cycles n);
+  void RawCycles(Cycles n) { Advance(n); }
 
   // --- Cache pinning (paper Section 4) ---
 
@@ -117,6 +181,7 @@ class Machine {
   InterruptController& irq() { return irq_; }
   const InterruptController& irq() const { return irq_; }
   IntervalTimer& timer() { return timer_; }
+  const IntervalTimer& timer() const { return timer_; }
 
   void set_l2_enabled(bool enabled) { config_.l2_enabled = enabled; }
   bool l2_enabled() const { return config_.l2_enabled; }
@@ -124,9 +189,41 @@ class Machine {
   void ResetStats();
 
  private:
-  // Refill penalty for a line missing in an L1 cache.
-  Cycles MissPenalty(Addr addr);
-  void Advance(Cycles n);
+  // Refill penalty for a line missing in an L1 cache. Inline: streaming
+  // workloads (object clears, cache-polluted campaign runs) miss on nearly
+  // every access, so this sits on the hot path alongside Access().
+  Cycles MissPenalty(Addr addr) {
+    Cycles penalty;
+    if (!config_.l2_enabled) {
+      penalty = config_.memory.mem_latency_l2_off;
+    } else {
+      counters_.l2_accesses++;
+      if (l2_.Access(addr)) {
+        penalty = config_.memory.l2_hit_latency;
+      } else {
+        counters_.l2_misses++;
+        penalty = config_.memory.mem_latency_l2_on;
+      }
+    }
+    counters_.mem_stall_cycles += penalty;
+    return penalty;
+  }
+
+  // Seed cost profile of the same computation: out of line, with the L2
+  // lookup going through the division-based Cache::AccessReference. Identical
+  // counter and cache state transitions.
+  Cycles MissPenaltyReference(Addr addr);
+
+  // Advances the cycle counter. The timer is only consulted when the counter
+  // crosses its cached deadline (IntervalTimer::next_deadline): in between,
+  // Tick() would be a no-op, so assertion cycles are exactly those of the
+  // tick-every-advance scheme the seed used.
+  void Advance(Cycles n) {
+    now_ += n;
+    if (now_ >= timer_.next_deadline()) {
+      timer_.Tick(now_);
+    }
+  }
 
   MachineConfig config_;
   Cache l1i_;

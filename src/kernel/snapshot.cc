@@ -53,7 +53,12 @@ Kernel::Kernel(CloneTag, const Kernel& other, Machine* machine)
       irq_bindings_(other.irq_bindings_),
       asid_pool_(other.asid_pool_),
       irq_latencies_(other.irq_latencies_),
-      fastpath_hits_(other.fastpath_hits_) {}
+      fastpath_hits_(other.fastpath_hits_) {
+  // The fresh executor picked its charge mode from the global reference flag;
+  // a clone must replay on the same path as its source regardless of when the
+  // flag was flipped.
+  exec_.set_charge_mode(other.exec_.charge_mode());
+}
 
 std::unique_ptr<Kernel> Kernel::Clone(Machine* machine) const {
   if (exec_.InPath()) {

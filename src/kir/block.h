@@ -41,6 +41,14 @@ struct StaticAccess {
   bool write = false;
 };
 
+// A static access with its address already resolved (frame or symbol base
+// plus offset folded in at Program::Layout() time). The executor's prepared
+// charge path iterates these instead of re-resolving per execution.
+struct PreparedAccess {
+  Addr addr = 0;
+  bool write = false;
+};
+
 // A tiny register-machine operation. Blocks participating in counter loops
 // carry these so the loop-bound analysis (paper Section 5.3) can slice out
 // the loop-control computation and bound the iteration count automatically.
@@ -135,6 +143,22 @@ struct Block {
 
   // Assigned by Program::Layout().
   Addr address = 0;
+
+  // --- Precomputed execution data, assigned by Program::Layout(). ---
+  // Blocks must not be structurally mutated (instr_count, static_accesses,
+  // addresses) after Layout(); post-layout mutation of analysis-only metadata
+  // (loop bounds, path flags) is fine.
+
+  // Address of the block's final (branching) instruction.
+  Addr branch_pc = 0;
+
+  // I-fetch footprint as consecutive Program::kPreparedLineBytes-sized lines:
+  // first line address (line-aligned) and line count.
+  Addr ifetch_first_line = 0;
+  std::uint32_t ifetch_line_count = 0;
+
+  // static_accesses with absolute addresses resolved (same order).
+  std::vector<PreparedAccess> prepared_accesses;
 };
 
 struct Function {

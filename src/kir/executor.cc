@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/hw/hotpath.h"
 #include "src/obs/trace_sink.h"
 
 namespace pmk {
@@ -44,6 +45,13 @@ std::uint16_t CondRegMask(const BranchCond& c) {
 Executor::Executor(const Program* program, Machine* machine)
     : program_(program), machine_(machine) {
   assert(program_->laid_out());
+  if (hotpath::ReferenceMode()) {
+    charge_mode_ = ChargeMode::kReference;
+  } else if (machine_->config().l1i.line_bytes == Program::kPreparedLineBytes) {
+    charge_mode_ = ChargeMode::kPrepared;
+  } else {
+    charge_mode_ = ChargeMode::kGeneric;
+  }
 }
 
 void Executor::Fail(const std::string& msg) const {
@@ -61,6 +69,8 @@ void Executor::Begin(FuncId entry_func) {
   in_path_ = true;
   entry_func_ = entry_func;
   cur_ = kNoBlock;
+  cur_block_ = nullptr;
+  cur_hot_ = nullptr;
   dyn_count_ = 0;
   call_stack_.clear();
   regs_.fill(0);
@@ -86,7 +96,7 @@ void Executor::OpenBlockWindow() {
 }
 
 void Executor::CloseBlockWindow() {
-  const Block& b = program_->block(cur_);
+  const Block& b = *cur_block_;
   TraceEvent e;
   e.kind = TraceEventKind::kBlockCost;
   e.cycle = machine_->Now();
@@ -102,7 +112,7 @@ void Executor::LeaveCurrent() {
   if (cur_ == kNoBlock) {
     return;
   }
-  const Block& p = program_->block(cur_);
+  const Block& p = *cur_block_;
   if (dyn_count_ > p.max_dynamic_accesses) {
     Fail("block " + p.name + " exceeded its dynamic-access budget: " +
          std::to_string(dyn_count_) + " > " + std::to_string(p.max_dynamic_accesses));
@@ -110,10 +120,61 @@ void Executor::LeaveCurrent() {
   dyn_count_ = 0;
 }
 
+void Executor::ChargeBranch(Addr pc, BranchKind kind, bool taken) {
+  if (charge_mode_ == ChargeMode::kReference) {
+    machine_->BranchReference(pc, kind, taken);
+  } else {
+    machine_->Branch(pc, kind, taken);
+  }
+}
+
+void Executor::ChargeBlockPrepared(const HotBlock& h) {
+  machine_->InstrFetchLines(h.ifetch_first_line, h.ifetch_line_count, h.instr_count);
+  const PreparedAccess* pa = program_->prepared_pool() + h.prepared_begin;
+  for (std::uint32_t i = 0; i < h.prepared_count; ++i) {
+    machine_->DataAccess(pa[i].addr, pa[i].write);
+  }
+  if (h.raw_cycles != 0) {
+    machine_->RawCycles(h.raw_cycles);
+  }
+  const RegOp* ro = program_->regop_pool() + h.regop_begin;
+  for (std::uint32_t i = 0; i < h.regop_count; ++i) {
+    const RegOp& op = ro[i];
+    switch (op.kind) {
+      case RegOp::Kind::kConst:
+        regs_[op.dst] = op.imm;
+        break;
+      case RegOp::Kind::kAdd:
+        regs_[op.dst] += op.imm;
+        break;
+      case RegOp::Kind::kMovReg:
+        regs_[op.dst] = regs_[op.src];
+        break;
+    }
+    written_ |= static_cast<std::uint16_t>(1u << op.dst);
+  }
+}
+
 void Executor::ChargeBlock(const Block& b) {
-  machine_->InstrFetch(b.address, b.instr_count);
-  for (const StaticAccess& a : b.static_accesses) {
-    machine_->DataAccess(program_->ResolveStatic(b, a), a.write);
+  switch (charge_mode_) {
+    case ChargeMode::kPrepared:
+      machine_->InstrFetchLines(b.ifetch_first_line, b.ifetch_line_count, b.instr_count);
+      for (const PreparedAccess& a : b.prepared_accesses) {
+        machine_->DataAccess(a.addr, a.write);
+      }
+      break;
+    case ChargeMode::kGeneric:
+      machine_->InstrFetch(b.address, b.instr_count);
+      for (const StaticAccess& a : b.static_accesses) {
+        machine_->DataAccess(program_->ResolveStatic(b, a), a.write);
+      }
+      break;
+    case ChargeMode::kReference:
+      machine_->InstrFetchReference(b.address, b.instr_count);
+      for (const StaticAccess& a : b.static_accesses) {
+        machine_->DataAccessReference(program_->ResolveStatic(b, a), a.write);
+      }
+      break;
   }
   if (b.raw_cycles != 0) {
     machine_->RawCycles(b.raw_cycles);
@@ -136,6 +197,141 @@ void Executor::ChargeBlock(const Block& b) {
 }
 
 void Executor::At(BlockId bid) {
+  // Inner-loop discipline: the hot path below reads only the flat HotBlock
+  // table (program_->hot) — the full Block (strings, per-block vectors) is
+  // touched solely on error paths and behind the sink_/recording_ gates.
+  if (charge_mode_ == ChargeMode::kReference) {
+    AtReference(bid);
+    return;
+  }
+  if (!in_path_) {
+    Fail("At() outside a kernel path");
+  }
+  const HotBlock& h = program_->hot(bid);
+
+  if (cur_ == kNoBlock) {
+    const BlockId expect = program_->function(entry_func_).entry;
+    if (bid != expect) {
+      Fail("path must start at entry block " + program_->block(expect).name + ", got " +
+           program_->block(bid).name);
+    }
+  } else {
+    const HotBlock& p = *cur_hot_;
+    if (dyn_count_ > p.max_dynamic_accesses) {
+      FailDynBudget();
+    }
+    dyn_count_ = 0;
+    if (p.callee != kNoFunc) {
+      // Call edge.
+      if (bid != p.callee_entry) {
+        Fail("call block " + cur_block_->name + " must enter " +
+             program_->function(p.callee).name + ", got " + program_->block(bid).name);
+      }
+      ChargeBranch(p.branch_pc, BranchKind::kDirect, true);
+      Frame f;
+      f.resume = p.succ0;
+      f.regs = regs_;
+      f.written = written_;
+      call_stack_.push_back(f);
+      written_ = 0;  // callee starts with no semantically-known registers
+    } else if (p.is_return) {
+      // Return edge.
+      if (call_stack_.empty()) {
+        Fail("return from " + cur_block_->name + " with empty call stack; expected End()");
+      }
+      const Frame f = call_stack_.back();
+      call_stack_.pop_back();
+      if (bid != f.resume) {
+        Fail("return to " + program_->block(bid).name + " but resume block is " +
+             program_->block(f.resume).name);
+      }
+      ChargeBranch(p.branch_pc, BranchKind::kReturn, true);
+      regs_ = f.regs;
+      written_ = f.written;
+    } else {
+      // Intra-function edge. succ1 is kNoBlock for single-successor blocks,
+      // which no real block id equals, so two compares cover both arities.
+      if (bid != p.succ0 && bid != p.succ1) {
+        Fail("edge " + cur_block_->name + " -> " + program_->block(bid).name + " not in CFG");
+      }
+      if (p.nsuccs == 2) {
+        const bool taken = (bid == p.succ1);
+        // Cross-check semantic conditions where declared and where all
+        // involved registers hold known values.
+        if (p.has_cond_semantics && (written_ & CondRegMask(p.cond)) == CondRegMask(p.cond)) {
+          const bool predicted = EvalCond(regs_, p.cond);
+          if (p.cond.one_sided) {
+            // Guard semantics: the condition must hold whenever the taken
+            // edge is followed; early exit on the not-taken edge is allowed.
+            if (taken && !predicted) {
+              Fail("guard condition of " + cur_block_->name + " violated on taken edge");
+            }
+          } else if (predicted != taken) {
+            Fail("semantic branch condition of " + cur_block_->name +
+                 " disagrees with executed direction");
+          }
+        }
+        ChargeBranch(p.branch_pc, BranchKind::kConditional, taken);
+      } else if (p.branch == BranchKind::kDirect) {
+        ChargeBranch(p.branch_pc, BranchKind::kDirect, true);
+      }
+      // Single-successor fall-through: no branch cost.
+    }
+  }
+
+  if (sink_ != nullptr && cur_ != kNoBlock) {
+    // The branch terminating the previous block has been charged above, so
+    // the closing window attributes it (plus any Touch costs) to that block.
+    CloseBlockWindow();
+    const HotBlock& prev = *cur_hot_;
+    if (prev.is_preemption_point && prev.nsuccs == 2 && bid == prev.succ1) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kPreemptPointTaken;
+      e.cycle = machine_->Now();
+      e.name = cur_block_->name.c_str();
+      e.id = cur_;
+      sink_->OnEvent(e);
+    }
+  }
+  cur_ = bid;
+  cur_block_ = &program_->block(bid);
+  cur_hot_ = &h;
+  if (recording_) {
+    trace_.blocks.push_back(bid);
+  }
+  if (sink_ != nullptr) {
+    if (h.is_preemption_point) {
+      TraceEvent e;
+      e.kind = TraceEventKind::kPreemptPointHit;
+      e.cycle = machine_->Now();
+      e.name = cur_block_->name.c_str();
+      e.id = bid;
+      sink_->OnEvent(e);
+    }
+    OpenBlockWindow();
+  }
+  if (fault_hook_ != nullptr) {
+    fault_hook_->OnBlock(bid, h.is_preemption_point);
+  }
+  if (charge_mode_ == ChargeMode::kPrepared) {
+    ChargeBlockPrepared(h);
+  } else {
+    ChargeBlock(*cur_block_);
+  }
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void Executor::AtReference(BlockId bid) {
+  // Seed cost profile of At(): every edge check reads the full Block structs
+  // (array-of-large-structs indexing, heap-allocated successor vectors), the
+  // branch PC is recomputed from address/instr_count per edge, the budget
+  // check goes through the out-of-line LeaveCurrent(), and block costs are
+  // charged via the division-based reference machine entries (ChargeBlock in
+  // kReference mode). Validation outcomes, hook invocations and all modelled
+  // state transitions are identical to At(); only the host-side cost
+  // differs. hotpath_equivalence_test cross-checks the two.
   if (!in_path_) {
     Fail("At() outside a kernel path");
   }
@@ -149,14 +345,14 @@ void Executor::At(BlockId bid) {
   } else {
     const Block& p = program_->block(cur_);
     LeaveCurrent();
-    if (p.callee != kNoFunc && bid != program_->function(p.callee).entry) {
-      Fail("call block " + p.name + " must enter " +
-           program_->function(p.callee).name + ", got " + b.name);
-    }
     if (p.callee != kNoFunc) {
       // Call edge.
+      if (bid != program_->function(p.callee).entry) {
+        Fail("call block " + p.name + " must enter " + program_->function(p.callee).name +
+             ", got " + b.name);
+      }
       const Addr branch_pc = p.address + (static_cast<Addr>(p.instr_count) - 1) * 4;
-      machine_->Branch(branch_pc, BranchKind::kDirect, true);
+      machine_->BranchReference(branch_pc, BranchKind::kDirect, true);
       Frame f;
       f.resume = p.succs[0];
       f.regs = regs_;
@@ -174,7 +370,7 @@ void Executor::At(BlockId bid) {
         Fail("return to " + b.name + " but resume block is " + program_->block(f.resume).name);
       }
       const Addr branch_pc = p.address + (static_cast<Addr>(p.instr_count) - 1) * 4;
-      machine_->Branch(branch_pc, BranchKind::kReturn, true);
+      machine_->BranchReference(branch_pc, BranchKind::kReturn, true);
       regs_ = f.regs;
       written_ = f.written;
     } else {
@@ -192,13 +388,9 @@ void Executor::At(BlockId bid) {
       const Addr branch_pc = p.address + (static_cast<Addr>(p.instr_count) - 1) * 4;
       if (p.succs.size() == 2) {
         const bool taken = (bid == p.succs[1]);
-        // Cross-check semantic conditions where declared and where all
-        // involved registers hold known values.
         if (p.cond.HasSemantics() && (written_ & CondRegMask(p.cond)) == CondRegMask(p.cond)) {
           const bool predicted = EvalCond(regs_, p.cond);
           if (p.cond.one_sided) {
-            // Guard semantics: the condition must hold whenever the taken
-            // edge is followed; early exit on the not-taken edge is allowed.
             if (taken && !predicted) {
               Fail("guard condition of " + p.name + " violated on taken edge");
             }
@@ -206,19 +398,17 @@ void Executor::At(BlockId bid) {
             Fail("semantic branch condition of " + p.name + " disagrees with executed direction");
           }
         }
-        machine_->Branch(branch_pc, BranchKind::kConditional, taken);
+        machine_->BranchReference(branch_pc, BranchKind::kConditional, taken);
       } else if (p.branch == BranchKind::kDirect) {
-        machine_->Branch(branch_pc, BranchKind::kDirect, true);
+        machine_->BranchReference(branch_pc, BranchKind::kDirect, true);
       }
       // Single-successor fall-through: no branch cost.
     }
   }
 
   if (sink_ != nullptr && cur_ != kNoBlock) {
-    // The branch terminating the previous block has been charged above, so
-    // the closing window attributes it (plus any Touch costs) to that block.
     CloseBlockWindow();
-    const Block& prev = program_->block(cur_);
+    const Block& prev = *cur_block_;
     if (prev.is_preemption_point && prev.succs.size() == 2 && bid == prev.succs[1]) {
       TraceEvent e;
       e.kind = TraceEventKind::kPreemptPointTaken;
@@ -229,6 +419,8 @@ void Executor::At(BlockId bid) {
     }
   }
   cur_ = bid;
+  cur_block_ = &b;
+  cur_hot_ = &program_->hot(bid);
   if (recording_) {
     trace_.blocks.push_back(bid);
   }
@@ -249,12 +441,23 @@ void Executor::At(BlockId bid) {
   ChargeBlock(b);
 }
 
-void Executor::Touch(Addr addr, bool write) {
+void Executor::FailTouchOutsideBlock() const { Fail("Touch() outside a block"); }
+
+void Executor::FailDynBudget() const {
+  Fail("block " + cur_block_->name + " exceeded its dynamic-access budget: " +
+       std::to_string(dyn_count_) + " > " +
+       std::to_string(cur_block_->max_dynamic_accesses));
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void Executor::TouchReference(Addr addr, bool write) {
   if (!in_path_ || cur_ == kNoBlock) {
-    Fail("Touch() outside a block");
+    FailTouchOutsideBlock();
   }
   dyn_count_++;
-  machine_->DataAccess(addr, write);
+  machine_->DataAccessReference(addr, write);
 }
 
 void Executor::SetReg(std::uint8_t reg, std::int64_t value) {
@@ -283,7 +486,7 @@ void Executor::End() {
   if (cur_ == kNoBlock) {
     Fail("End() before any block executed");
   }
-  const Block& p = program_->block(cur_);
+  const Block& p = *cur_block_;
   if (!p.is_return) {
     Fail("End() in non-return block " + p.name);
   }
@@ -302,6 +505,7 @@ void Executor::End() {
   }
   in_path_ = false;
   cur_ = kNoBlock;
+  cur_block_ = nullptr;
   if (recording_) {
     trace_.end_cycle = machine_->Now();
   }

@@ -52,17 +52,53 @@ class Executor {
  public:
   static constexpr std::size_t kNumRegs = 16;
 
+  // How block costs are charged to the machine. All three modes produce
+  // bit-identical modelled results (cycles, counters, cache state, traces);
+  // they differ only in host-side cost. hotpath_equivalence_test verifies the
+  // bit-identity.
+  enum class ChargeMode : std::uint8_t {
+    // Iterate the Layout()-precomputed I-fetch spans and resolved static
+    // access addresses. Requires the machine's L1I line size to match
+    // Program::kPreparedLineBytes; selected automatically when it does.
+    kPrepared,
+    // Recompute spans and resolve static accesses per execution. Fallback for
+    // non-standard cache geometry.
+    kGeneric,
+    // Benchmark baseline: generic arithmetic through the out-of-line
+    // division-based reference entries (Machine::InstrFetchReference /
+    // DataAccessReference). Selected at construction when
+    // pmk::hotpath::ReferenceMode() is on.
+    kReference,
+  };
+
   Executor(const Program* program, Machine* machine);
+
+  ChargeMode charge_mode() const { return charge_mode_; }
+  void set_charge_mode(ChargeMode mode) { charge_mode_ = mode; }
 
   // Starts a kernel path at |entry_func|'s entry block.
   void Begin(FuncId entry_func);
 
   // Announces execution of block |b| (charges fetch, static accesses, branch
-  // from the previous block, raw cycles; interprets register ops).
+  // from the previous block, raw cycles; interprets register ops). In
+  // reference charge mode, dispatches to the out-of-line AtReference twin
+  // that replicates the seed implementation's per-edge cost.
   void At(BlockId b);
 
-  // One dynamically-addressed data access within the current block.
-  void Touch(Addr addr, bool write = false);
+  // One dynamically-addressed data access within the current block. Inline:
+  // object-clearing loops issue one Touch per modelled line, so this is the
+  // single hottest call site in long campaigns.
+  void Touch(Addr addr, bool write = false) {
+    if (charge_mode_ == ChargeMode::kReference) {
+      TouchReference(addr, write);  // seed call depth: out-of-line end to end
+      return;
+    }
+    if (!in_path_ || cur_ == kNoBlock) {
+      FailTouchOutsideBlock();
+    }
+    dyn_count_++;
+    machine_->DataAccess(addr, write);
+  }
 
   // Injects a runtime value into register |reg| (a loop input). Validated
   // against the declared LoopInput range of the current function's loops.
@@ -98,11 +134,26 @@ class Executor {
  private:
   void LeaveCurrent();
   void ChargeBlock(const Block& b);
+  // Prepared-mode charge path over the flat HotBlock table and pools.
+  void ChargeBlockPrepared(const HotBlock& h);
+  // Charges the branch ending the previous block via the fast inline
+  // Machine::Branch, or via the out-of-line reference twin in reference mode.
+  void ChargeBranch(Addr pc, BranchKind kind, bool taken);
   // Emits the kBlockCost event for the block being left (cycles and misses
   // accumulated since OpenBlockWindow) and re-snapshots the counters.
   void CloseBlockWindow();
   void OpenBlockWindow();
   [[noreturn]] void Fail(const std::string& msg) const;
+  [[noreturn]] void FailTouchOutsideBlock() const;
+  [[noreturn]] void FailDynBudget() const;
+  // Reference-mode Touch body: replicates the seed's out-of-line
+  // Touch -> DataAccess call chain so the benchmark baseline pays the
+  // pre-optimisation call depth.
+  void TouchReference(Addr addr, bool write);
+  // Reference-mode At body: the seed's per-edge cost profile — full Block
+  // struct lookups, heap successor-vector walks, per-edge branch-PC
+  // recomputation — with identical validation, hooks and state transitions.
+  void AtReference(BlockId bid);
 
   struct Frame {
     BlockId resume = kNoBlock;
@@ -112,9 +163,12 @@ class Executor {
 
   const Program* program_;
   Machine* machine_;
+  ChargeMode charge_mode_;
 
   bool in_path_ = false;
   BlockId cur_ = kNoBlock;
+  const Block* cur_block_ = nullptr;   // &program_->block(cur_), cached
+  const HotBlock* cur_hot_ = nullptr;  // &program_->hot(cur_), cached
   FuncId entry_func_ = kNoFunc;
   std::uint32_t dyn_count_ = 0;
   std::vector<Frame> call_stack_;

@@ -17,6 +17,35 @@
 
 namespace pmk {
 
+// Compact per-block execution descriptor, one flat array entry per Block,
+// built by Program::Layout(). The executor's inner loop reads only this
+// (plus the shared prepared-access / reg-op pools), so advancing a block
+// touches one or two contiguous cache lines instead of chasing the vectors
+// inside the full Block. Snapshotted at Layout() time: structural block
+// fields must not change afterwards (Block documents the same contract).
+struct HotBlock {
+  Addr branch_pc = 0;
+  Addr ifetch_first_line = 0;
+  std::uint32_t ifetch_line_count = 0;
+  std::uint32_t instr_count = 0;
+  std::uint32_t raw_cycles = 0;
+  std::uint32_t max_dynamic_accesses = 0;
+  std::uint32_t prepared_begin = 0;  // into Program::prepared_pool()
+  std::uint32_t prepared_count = 0;
+  std::uint32_t regop_begin = 0;  // into Program::regop_pool()
+  std::uint32_t regop_count = 0;
+  FuncId callee = kNoFunc;
+  BlockId callee_entry = kNoBlock;  // funcs_[callee].entry, prefetched
+  BlockId succ0 = kNoBlock;         // fall-through / not-taken edge
+  BlockId succ1 = kNoBlock;         // taken edge (two-successor blocks)
+  std::uint8_t nsuccs = 0;
+  BranchKind branch = BranchKind::kNone;
+  bool is_return = false;
+  bool is_preemption_point = false;
+  bool has_cond_semantics = false;
+  BranchCond cond;
+};
+
 class Program {
  public:
   // Text / data / stack layout constants (physical addresses on the modelled
@@ -24,6 +53,13 @@ class Program {
   static constexpr Addr kTextBase = 0x0010'0000;
   static constexpr Addr kDataBase = 0x0020'0000;
   static constexpr Addr kStackTop = 0x0030'0000;  // grows down
+
+  // Cache-line size assumed by the per-block precomputed I-fetch spans
+  // (Block::ifetch_first_line / ifetch_line_count). Matches the 32-byte lines
+  // of the modelled ARM1136/i.MX31 caches; the executor falls back to its
+  // generic (bit-identical) charge path if a machine is configured with a
+  // different L1I line size.
+  static constexpr std::uint32_t kPreparedLineBytes = 32;
 
   FuncId AddFunction(std::string_view name, std::uint32_t frame_bytes = 32);
   SymId AddSymbol(std::string_view name, std::uint32_t size);
@@ -45,6 +81,11 @@ class Program {
 
   const Block& block(BlockId id) const { return blocks_[id]; }
   Block& mutable_block(BlockId id) { return blocks_[id]; }
+
+  // Hot-path views (valid after Layout()).
+  const HotBlock& hot(BlockId id) const { return hot_blocks_[id]; }
+  const PreparedAccess* prepared_pool() const { return prepared_pool_.data(); }
+  const RegOp* regop_pool() const { return regop_pool_.data(); }
   const Function& function(FuncId id) const { return funcs_[id]; }
   const DataSymbol& symbol(SymId id) const { return syms_[id]; }
 
@@ -69,6 +110,9 @@ class Program {
   std::vector<Function> funcs_;
   std::vector<Block> blocks_;
   std::vector<DataSymbol> syms_;
+  std::vector<HotBlock> hot_blocks_;
+  std::vector<PreparedAccess> prepared_pool_;
+  std::vector<RegOp> regop_pool_;
   std::uint64_t text_bytes_ = 0;
   bool laid_out_ = false;
 };

@@ -1,0 +1,652 @@
+// Differential tests for the hot-path overhaul: the SoA shift/mask cache, the
+// precomputed executor charge path and the cached timer deadline must produce
+// bit-identical modelled results to the seed implementation. The seed cache
+// (array-of-structures, division-based indexing) is reimplemented here
+// independently and every optimised component is cross-checked against it (or
+// against the retained reference entry points) under randomized op streams
+// and whole-kernel workloads.
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/campaign.h"
+#include "src/fault/scenario.h"
+#include "src/hw/cache.h"
+#include "src/hw/hotpath.h"
+#include "src/hw/machine.h"
+#include "src/kir/executor.h"
+#include "src/sim/workload.h"
+
+namespace pmk {
+namespace {
+
+// Restores the process-wide reference-mode flag on scope exit so a failing
+// assertion cannot leak reference mode into later tests.
+class ReferenceModeGuard {
+ public:
+  explicit ReferenceModeGuard(bool on) : prev_(hotpath::ReferenceMode()) {
+    hotpath::SetReferenceMode(on);
+  }
+  ~ReferenceModeGuard() { hotpath::SetReferenceMode(prev_); }
+  ReferenceModeGuard(const ReferenceModeGuard&) = delete;
+  ReferenceModeGuard& operator=(const ReferenceModeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+// Independent reimplementation of the pre-overhaul cache: array-of-structures
+// line storage and division-based set/tag arithmetic. Kept deliberately naive
+// — it is the differential-testing oracle, not a performance path.
+class SeedModelCache {
+ public:
+  explicit SeedModelCache(const CacheConfig& config)
+      : config_(config),
+        num_sets_(config.NumSets()),
+        lines_(static_cast<std::size_t>(config.NumSets()) * config.ways),
+        rr_next_(config.NumSets(), 0) {}
+
+  bool Access(Addr addr) {
+    stats_.accesses++;
+    const std::uint32_t set = SetIndexOf(addr);
+    const Addr tag = TagOf(addr);
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      Line& l = LineAt(set, w);
+      if (l.valid && l.tag == tag) {
+        stats_.hits++;
+        return true;
+      }
+    }
+    stats_.misses++;
+    const std::uint32_t all = config_.ways >= 32 ? ~0u : ((1u << config_.ways) - 1);
+    if ((locked_ways_ & all) == all) {
+      return false;
+    }
+    const std::uint32_t victim = PickVictim(set);
+    LineAt(set, victim) = {true, tag};
+    return false;
+  }
+
+  bool Contains(Addr addr) const {
+    const std::uint32_t set = SetIndexOf(addr);
+    const Addr tag = TagOf(addr);
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      const Line& l = lines_[static_cast<std::size_t>(set) * config_.ways + w];
+      if (l.valid && l.tag == tag) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void InstallLine(Addr addr, std::uint32_t way) {
+    LineAt(SetIndexOf(addr), way) = {true, TagOf(addr)};
+  }
+
+  void LockWay(std::uint32_t way) { locked_ways_ |= (1u << way); }
+  void UnlockWay(std::uint32_t way) { locked_ways_ &= ~(1u << way); }
+
+  void InvalidateAll() {
+    for (Line& l : lines_) {
+      l.valid = false;
+    }
+  }
+
+  void Pollute(Addr garbage_base, double fraction = 1.0) {
+    const std::uint32_t threshold = static_cast<std::uint32_t>(fraction * 1024.0 + 0.5);
+    for (std::uint32_t set = 0; set < num_sets_; ++set) {
+      if ((set * 2654435761u >> 6) % 1024 >= threshold) {
+        continue;
+      }
+      for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (locked_ways_ & (1u << w)) {
+          continue;
+        }
+        const Addr addr =
+            garbage_base + (static_cast<Addr>(w) * num_sets_ + set) * config_.line_bytes;
+        LineAt(set, w) = {true, TagOf(addr)};
+      }
+    }
+  }
+
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    Addr tag = 0;
+  };
+
+  std::uint32_t SetIndexOf(Addr addr) const {
+    return static_cast<std::uint32_t>((addr / config_.line_bytes) & (num_sets_ - 1));
+  }
+  Addr TagOf(Addr addr) const { return addr / config_.line_bytes / num_sets_; }
+
+  Line& LineAt(std::uint32_t set, std::uint32_t way) {
+    return lines_[static_cast<std::size_t>(set) * config_.ways + way];
+  }
+
+  std::uint32_t PickVictim(std::uint32_t set) {
+    if (config_.policy == ReplacementPolicy::kRoundRobin) {
+      const std::uint32_t w = rr_next_[set];
+      for (std::uint32_t tries = 0; tries < config_.ways; ++tries) {
+        const std::uint32_t cand = (w + tries) % config_.ways;
+        if (!(locked_ways_ & (1u << cand))) {
+          rr_next_[set] = (cand + 1) % config_.ways;
+          return cand;
+        }
+      }
+    } else {
+      for (std::uint32_t tries = 0; tries < 4 * config_.ways; ++tries) {
+        lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xB400u);
+        const std::uint32_t cand = static_cast<std::uint32_t>(lfsr_) % config_.ways;
+        if (!(locked_ways_ & (1u << cand))) {
+          return cand;
+        }
+      }
+      for (std::uint32_t cand = 0; cand < config_.ways; ++cand) {
+        if (!(locked_ways_ & (1u << cand))) {
+          return cand;
+        }
+      }
+    }
+    return 0;
+  }
+
+  CacheConfig config_;
+  std::uint32_t num_sets_;
+  std::vector<Line> lines_;
+  std::vector<std::uint32_t> rr_next_;
+  std::uint32_t locked_ways_ = 0;
+  std::uint64_t lfsr_ = 0xACE1u;
+  CacheStats stats_;
+};
+
+// An address stream mixing tight loops (hits), strided sweeps (conflict
+// misses) and uniform noise — roughly what kernel execution throws at the L1s.
+std::vector<Addr> MakeAddressStream(std::mt19937_64& rng, std::size_t n) {
+  std::vector<Addr> out;
+  out.reserve(n);
+  std::uniform_int_distribution<Addr> uniform(0, 1u << 22);
+  Addr loop_base = 0x100000;
+  while (out.size() < n) {
+    switch (rng() % 3) {
+      case 0:  // loop over a small working set
+        loop_base = uniform(rng) & ~Addr{31};
+        for (int rep = 0; rep < 8 && out.size() < n; ++rep) {
+          for (Addr off = 0; off < 512 && out.size() < n; off += 32) {
+            out.push_back(loop_base + off);
+          }
+        }
+        break;
+      case 1:  // page-strided sweep: same set, different tags
+        for (Addr i = 0; i < 24 && out.size() < n; ++i) {
+          out.push_back((uniform(rng) & 0xFFF) + i * 4096);
+        }
+        break;
+      default:
+        for (int i = 0; i < 16 && out.size() < n; ++i) {
+          out.push_back(uniform(rng));
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void ExpectStatsEq(const CacheStats& a, const CacheStats& b) {
+  EXPECT_EQ(a.accesses, b.accesses);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+}
+
+class CacheEquivalenceTest : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+// The SoA cache and the seed-model oracle must agree per access and in every
+// derived observation across a randomized op stream that also exercises
+// locking, installation, invalidation and pollution.
+TEST_P(CacheEquivalenceTest, RandomStreamMatchesSeedModel) {
+  CacheConfig cfg{.name = "eq", .size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32,
+                  .policy = GetParam()};
+  Cache opt(cfg);
+  SeedModelCache seed(cfg);
+
+  std::mt19937_64 rng(42);
+  const std::vector<Addr> stream = MakeAddressStream(rng, 30000);
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    // Occasionally mutate lock/valid state the same way on both models.
+    switch (rng() % 16) {
+      case 0: {
+        const std::uint32_t way = static_cast<std::uint32_t>(rng() % cfg.ways);
+        opt.LockWay(way);
+        seed.LockWay(way);
+        break;
+      }
+      case 1: {
+        const std::uint32_t way = static_cast<std::uint32_t>(rng() % cfg.ways);
+        opt.UnlockWay(way);
+        seed.UnlockWay(way);
+        break;
+      }
+      case 2: {
+        const Addr a = stream[pos] & ~Addr{31};
+        const std::uint32_t way = static_cast<std::uint32_t>(rng() % cfg.ways);
+        opt.InstallLine(a, way);
+        seed.InstallLine(a, way);
+        break;
+      }
+      case 3:
+        opt.InvalidateAll();
+        seed.InvalidateAll();
+        break;
+      case 4: {
+        const double fraction = (rng() % 2 != 0) ? 1.0 : 0.5;
+        opt.Pollute(0x4000'0000, fraction);
+        seed.Pollute(0x4000'0000, fraction);
+        break;
+      }
+      default:
+        break;
+    }
+    const std::size_t burst = std::min<std::size_t>(64, stream.size() - pos);
+    for (std::size_t i = 0; i < burst; ++i) {
+      const Addr a = stream[pos + i];
+      ASSERT_EQ(opt.Access(a), seed.Access(a)) << "access #" << pos + i;
+    }
+    // Contains is a pure observation; spot-check it over the burst.
+    for (std::size_t i = 0; i < burst; i += 7) {
+      const Addr a = stream[pos + i];
+      ASSERT_EQ(opt.Contains(a), seed.Contains(a));
+    }
+    pos += burst;
+  }
+  ExpectStatsEq(opt.stats(), seed.stats());
+}
+
+// AccessReference (the retained division-based benchmark baseline) must be
+// state-identical to the shift/mask Access on the same stream.
+TEST_P(CacheEquivalenceTest, AccessReferenceMatchesAccess) {
+  CacheConfig cfg{.name = "ref", .size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32,
+                  .policy = GetParam()};
+  Cache fast(cfg);
+  Cache ref(cfg);
+
+  std::mt19937_64 rng(7);
+  const std::vector<Addr> stream = MakeAddressStream(rng, 20000);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(fast.Access(stream[i]), ref.AccessReference(stream[i])) << "access #" << i;
+  }
+  ExpectStatsEq(fast.stats(), ref.stats());
+  for (std::size_t i = 0; i < stream.size(); i += 13) {
+    ASSERT_EQ(fast.Contains(stream[i]), ref.Contains(stream[i]));
+  }
+}
+
+// The split AccessLine(set, tag) entry must be exactly Access(addr) when fed
+// the decomposed address, and the decomposition must match the seed's
+// division arithmetic.
+TEST_P(CacheEquivalenceTest, AccessLineMatchesAccess) {
+  CacheConfig cfg{.name = "split", .size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32,
+                  .policy = GetParam()};
+  Cache whole(cfg);
+  Cache split(cfg);
+
+  std::mt19937_64 rng(11);
+  const std::vector<Addr> stream = MakeAddressStream(rng, 10000);
+  for (const Addr a : stream) {
+    EXPECT_EQ(split.SetIndexOf(a),
+              static_cast<std::uint32_t>((a / cfg.line_bytes) & (cfg.NumSets() - 1)));
+    EXPECT_EQ(split.TagOf(a), a / cfg.line_bytes / cfg.NumSets());
+    ASSERT_EQ(whole.Access(a), split.AccessLine(split.SetIndexOf(a), split.TagOf(a)));
+  }
+  ExpectStatsEq(whole.stats(), split.stats());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CacheEquivalenceTest,
+                         ::testing::Values(ReplacementPolicy::kRoundRobin,
+                                           ReplacementPolicy::kPseudoRandom),
+                         [](const auto& param_info) {
+                           return param_info.param == ReplacementPolicy::kRoundRobin
+                                      ? "RoundRobin"
+                                      : "PseudoRandom";
+                         });
+
+// Pollute(fraction) must touch exactly the seed model's set selection at
+// every fraction, including with locked ways held out.
+TEST(CacheEquivalence, PolluteFractionMatchesSeedModel) {
+  for (const double fraction : {0.0, 0.25, 0.5, 1.0}) {
+    CacheConfig cfg{.name = "pollute", .size_bytes = 128 * 1024, .ways = 8, .line_bytes = 32};
+    Cache opt(cfg);
+    SeedModelCache seed(cfg);
+    opt.LockWay(0);
+    seed.LockWay(0);
+    opt.Pollute(0x6000'0000, fraction);
+    seed.Pollute(0x6000'0000, fraction);
+    // Probe every garbage line address the full-pollution pass would install.
+    for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+      for (std::uint32_t set = 0; set < cfg.NumSets(); set += 17) {
+        const Addr a =
+            0x6000'0000 + (static_cast<Addr>(w) * cfg.NumSets() + set) * cfg.line_bytes;
+        ASSERT_EQ(opt.Contains(a), seed.Contains(a))
+            << "fraction " << fraction << " way " << w << " set " << set;
+      }
+    }
+  }
+}
+
+// Pinned lines must survive arbitrary conflict pressure under the SoA layout,
+// and a fully-locked cache must bypass allocation entirely.
+TEST(CacheEquivalence, WayLockingUnderSoaLayout) {
+  CacheConfig cfg{.name = "lock", .size_bytes = 16 * 1024, .ways = 4, .line_bytes = 32};
+  Cache c(cfg);
+  const Addr pinned = 0x100040;
+  c.InstallLine(pinned, 0);
+  c.LockWay(0);
+
+  // 64 tags mapping to the pinned line's set.
+  const std::uint32_t set_span = cfg.NumSets() * cfg.line_bytes;
+  for (int i = 1; i <= 64; ++i) {
+    c.Access(pinned + static_cast<Addr>(i) * set_span);
+  }
+  EXPECT_TRUE(c.Contains(pinned));
+
+  for (std::uint32_t w = 0; w < cfg.ways; ++w) {
+    c.LockWay(w);
+  }
+  const CacheStats before = c.stats();
+  EXPECT_FALSE(c.Access(0x7777'0000));
+  EXPECT_FALSE(c.Contains(0x7777'0000));  // bypassed, not allocated
+  EXPECT_EQ(c.stats().misses, before.misses + 1);
+}
+
+// A copied Machine shares the original's LFSR state: identical access
+// patterns on both must replay identically, including pseudo-random victim
+// choices made after the copy.
+TEST(CacheEquivalence, LfsrDeterminismAcrossMachineCopies) {
+  MachineConfig mc;
+  mc.l1i.policy = ReplacementPolicy::kPseudoRandom;
+  mc.l1d.policy = ReplacementPolicy::kPseudoRandom;
+  Machine a(mc);
+
+  std::mt19937_64 rng(3);
+  const std::vector<Addr> warmup = MakeAddressStream(rng, 4000);
+  for (const Addr addr : warmup) {
+    a.DataAccess(addr, false);
+  }
+
+  Machine b(a);
+  const std::vector<Addr> tail = MakeAddressStream(rng, 4000);
+  for (const Addr addr : tail) {
+    a.DataAccess(addr, (addr & 64) != 0);
+    b.DataAccess(addr, (addr & 64) != 0);
+  }
+  EXPECT_EQ(a.Now(), b.Now());
+  EXPECT_EQ(a.counters().l1d_misses, b.counters().l1d_misses);
+  ExpectStatsEq(a.l1d().stats(), b.l1d().stats());
+  for (const Addr addr : tail) {
+    ASSERT_EQ(a.l1d().Contains(addr), b.l1d().Contains(addr));
+  }
+}
+
+// --- Whole-stack equivalence: reference vs optimised execution ---
+
+struct KernelRunOutcome {
+  Cycles now = 0;
+  HwCounters counters;
+  CacheStats l1i, l1d;
+  std::vector<Cycles> irq_latencies;
+  std::uint32_t preemptions = 0;
+};
+
+// A campaign-shaped workload: the attacker retypes large frames under a
+// periodic timer, the operation preempts, restarts and completes, and the
+// real-time thread's interrupt latencies are recorded.
+KernelRunOutcome RunTimerPreemptWorkload() {
+  System sys(KernelConfig::After(), EvalMachine(true));
+  EndpointObj* timer_ep = nullptr;
+  const std::uint32_t timer_cptr = sys.AddEndpoint(&timer_ep);
+  TcbObj* rt_task = sys.AddThread(250);
+  sys.kernel().DirectBindIrq(InterruptController::kTimerLine, timer_ep);
+  sys.kernel().DirectBlockOnRecv(rt_task, timer_ep);
+
+  const std::uint32_t ut_cptr = sys.AddUntyped(21);
+  TcbObj* attacker = sys.AddThread(20);
+  sys.kernel().DirectSetCurrent(attacker);
+
+  KernelRunOutcome out;
+  sys.machine().timer().set_period(20'000);
+  sys.machine().timer().Restart(sys.machine().Now());
+
+  std::uint32_t dest = 40;
+  for (int step = 0; step < 60; ++step) {
+    if (sys.machine().irq().AnyPending() && sys.kernel().current() != rt_task) {
+      sys.kernel().HandleIrqEntry();
+    }
+    if (sys.kernel().current() == rt_task) {
+      sys.machine().RawCycles(200);
+      sys.kernel().Syscall(SysOp::kRecv, timer_cptr, SyscallArgs{});
+      sys.machine().irq().Unmask(InterruptController::kTimerLine);
+      if (sys.kernel().current() == sys.kernel().idle()) {
+        sys.kernel().DirectSetCurrent(attacker);
+      }
+      continue;
+    }
+    SyscallArgs args;
+    args.label = InvLabel::kUntypedRetype;
+    args.obj_type = ObjType::kFrame;
+    args.obj_bits = 16;
+    args.dest_index = dest;
+    const KernelExit e = sys.kernel().Syscall(SysOp::kCall, ut_cptr, args);
+    if (e == KernelExit::kPreempted) {
+      out.preemptions++;
+    } else if (attacker->last_error == KError::kOk) {
+      dest++;
+    }
+    if (sys.kernel().current() == sys.kernel().idle()) {
+      sys.kernel().DirectSetCurrent(attacker);
+    }
+    sys.machine().RawCycles(500);
+  }
+  sys.machine().timer().set_period(0);
+
+  out.now = sys.machine().Now();
+  out.counters = sys.machine().counters();
+  out.l1i = sys.machine().l1i().stats();
+  out.l1d = sys.machine().l1d().stats();
+  out.irq_latencies = sys.kernel().irq_latencies();
+  return out;
+}
+
+void ExpectOutcomesEq(const KernelRunOutcome& a, const KernelRunOutcome& b) {
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.irq_latencies, b.irq_latencies);
+  EXPECT_EQ(a.counters.instructions, b.counters.instructions);
+  EXPECT_EQ(a.counters.l1i_accesses, b.counters.l1i_accesses);
+  EXPECT_EQ(a.counters.l1i_misses, b.counters.l1i_misses);
+  EXPECT_EQ(a.counters.l1d_accesses, b.counters.l1d_accesses);
+  EXPECT_EQ(a.counters.l1d_misses, b.counters.l1d_misses);
+  EXPECT_EQ(a.counters.l2_accesses, b.counters.l2_accesses);
+  EXPECT_EQ(a.counters.l2_misses, b.counters.l2_misses);
+  EXPECT_EQ(a.counters.branches, b.counters.branches);
+  EXPECT_EQ(a.counters.branch_mispredicts, b.counters.branch_mispredicts);
+  EXPECT_EQ(a.counters.mem_stall_cycles, b.counters.mem_stall_cycles);
+  ExpectStatsEq(a.l1i, b.l1i);
+  ExpectStatsEq(a.l1d, b.l1d);
+}
+
+// The full kernel workload must be bit-identical between the optimised
+// (prepared) execution and the seed-profile reference execution: same final
+// cycle, same PMU counters, same cache statistics, same interrupt latencies.
+TEST(ExecutorEquivalence, ReferenceModeIsBitIdentical) {
+  const KernelRunOutcome fast = RunTimerPreemptWorkload();
+  KernelRunOutcome ref;
+  {
+    ReferenceModeGuard guard(true);
+    ref = RunTimerPreemptWorkload();
+  }
+  EXPECT_FALSE(fast.irq_latencies.empty());
+  EXPECT_GT(fast.preemptions, 0u);
+  ExpectOutcomesEq(fast, ref);
+}
+
+// The generic (per-execution resolution) charge path must also match the
+// prepared path; it is the fallback for non-32-byte L1I lines.
+TEST(ExecutorEquivalence, GenericChargeModeIsBitIdentical) {
+  System prepared(KernelConfig::After(), EvalMachine(false));
+  System generic(KernelConfig::After(), EvalMachine(false));
+  ASSERT_EQ(prepared.kernel().exec().charge_mode(), Executor::ChargeMode::kPrepared);
+  generic.kernel().exec().set_charge_mode(Executor::ChargeMode::kGeneric);
+
+  for (System* sys : {&prepared, &generic}) {
+    System::WorstIpc w = sys->BuildWorstCaseIpc();
+    sys->kernel().DirectSetCurrent(w.caller);
+    sys->kernel().Syscall(SysOp::kCall, w.ep_cptr, w.args);
+  }
+  EXPECT_EQ(prepared.machine().Now(), generic.machine().Now());
+  EXPECT_EQ(prepared.machine().counters().l1i_accesses,
+            generic.machine().counters().l1i_accesses);
+  EXPECT_EQ(prepared.machine().counters().l1i_misses,
+            generic.machine().counters().l1i_misses);
+  EXPECT_EQ(prepared.machine().counters().l1d_misses,
+            generic.machine().counters().l1d_misses);
+}
+
+// Clones inherit the source executor's charge mode, not the current global
+// flag: a checkpoint forked before a mode flip must keep replaying on the
+// path it was built with.
+TEST(ExecutorEquivalence, CloneInheritsChargeMode) {
+  std::unique_ptr<System> ref_sys;
+  {
+    ReferenceModeGuard guard(true);
+    ref_sys = std::make_unique<System>(KernelConfig::After(), EvalMachine(false));
+  }
+  ASSERT_EQ(ref_sys->kernel().exec().charge_mode(), Executor::ChargeMode::kReference);
+  const std::unique_ptr<System> clone = ref_sys->Clone();
+  EXPECT_EQ(clone->kernel().exec().charge_mode(), Executor::ChargeMode::kReference);
+}
+
+// An exhaustive IRQ sweep — dry run plus one injected run per preemption
+// boundary — must report identical results in both modes.
+TEST(ExecutorEquivalence, IrqSweepIsBitIdentical) {
+  SweepOptions opts;
+  const SweepResult fast = ExhaustiveIrqSweep(MakeRetypeCase(), opts);
+  SweepResult ref;
+  {
+    ReferenceModeGuard guard(true);
+    ref = ExhaustiveIrqSweep(MakeRetypeCase(), opts);
+  }
+  ASSERT_EQ(fast.preempt_points, ref.preempt_points);
+  ASSERT_EQ(fast.runs.size(), ref.runs.size());
+  EXPECT_EQ(fast.dry_run.max_irq_latency, ref.dry_run.max_irq_latency);
+  for (std::size_t i = 0; i < fast.runs.size(); ++i) {
+    EXPECT_EQ(fast.runs[i].plan, ref.runs[i].plan);
+    EXPECT_EQ(fast.runs[i].completed, ref.runs[i].completed);
+    EXPECT_EQ(fast.runs[i].restarts, ref.runs[i].restarts);
+    EXPECT_EQ(fast.runs[i].preempt_points, ref.runs[i].preempt_points);
+    EXPECT_EQ(fast.runs[i].max_irq_latency, ref.runs[i].max_irq_latency);
+  }
+}
+
+// Campaign CSVs are the repository's strongest determinism artefact: the
+// seeded campaign must emit byte-identical CSV in both modes.
+TEST(ExecutorEquivalence, CampaignCsvIsByteIdentical) {
+  CampaignConfig cc;
+  cc.seed = 42;
+  cc.random_runs = 4;
+  cc.storm_runs = 1;
+  cc.hostile_runs = 16;
+  cc.spurious_runs = 4;
+
+  std::ostringstream fast_csv;
+  RunCampaign(cc).WriteCsv(fast_csv);
+
+  std::ostringstream ref_csv;
+  {
+    ReferenceModeGuard guard(true);
+    RunCampaign(cc).WriteCsv(ref_csv);
+  }
+  EXPECT_EQ(fast_csv.str(), ref_csv.str());
+}
+
+// --- Timer deadline regression ---
+
+// The deadline-gated Advance must assert the timer line at exactly the same
+// cycles as the seed's tick-every-advance scheme, across irregular advance
+// sizes, multi-period jumps, mid-run set_period/Restart pokes and period-0
+// disablement.
+TEST(TimerDeadline, AssertionCyclesMatchTickEveryAdvance) {
+  MachineConfig mc;
+  mc.timer_period = 1000;
+  Machine fast(mc);
+  Machine ref(mc);
+  ref.timer().set_reference_tick_mode(true);
+  ASSERT_EQ(ref.timer().next_deadline(), 0u);
+
+  fast.timer().Restart(0);
+  ref.timer().Restart(0);
+  ASSERT_EQ(ref.timer().next_deadline(), 0u);  // reference mode survives pokes
+
+  std::mt19937_64 rng(5);
+  auto step = [&](Cycles n) {
+    fast.RawCycles(n);
+    ref.RawCycles(n);
+    ASSERT_EQ(fast.irq().IsPending(InterruptController::kTimerLine),
+              ref.irq().IsPending(InterruptController::kTimerLine));
+    if (fast.irq().IsPending(InterruptController::kTimerLine)) {
+      const auto t_fast = fast.irq().Acknowledge(InterruptController::kTimerLine);
+      const auto t_ref = ref.irq().Acknowledge(InterruptController::kTimerLine);
+      ASSERT_TRUE(t_fast.has_value());
+      ASSERT_EQ(*t_fast, *t_ref);
+    }
+    ASSERT_EQ(fast.irq().coalesced_asserts(), ref.irq().coalesced_asserts());
+  };
+
+  for (int i = 0; i < 400; ++i) {
+    step(1 + rng() % 300);
+  }
+  step(5'500);  // one advance crossing multiple periods: coalesces identically
+
+  // Mid-run retargeting through the public timer accessors.
+  fast.timer().set_period(350);
+  ref.timer().set_period(350);
+  fast.timer().Restart(fast.Now());
+  ref.timer().Restart(ref.Now());
+  for (int i = 0; i < 200; ++i) {
+    step(1 + rng() % 120);
+  }
+
+  // Disable, run quietly, re-enable.
+  fast.timer().set_period(0);
+  ref.timer().set_period(0);
+  EXPECT_EQ(fast.timer().next_deadline(), IntervalTimer::kNever);
+  for (int i = 0; i < 50; ++i) {
+    step(1 + rng() % 500);
+  }
+  fast.timer().set_period(777);
+  ref.timer().set_period(777);
+  fast.timer().Restart(fast.Now());
+  ref.timer().Restart(ref.Now());
+  for (int i = 0; i < 200; ++i) {
+    step(1 + rng() % 250);
+  }
+  EXPECT_EQ(fast.Now(), ref.Now());
+}
+
+// A disabled timer's deadline is kNever: the hot loop must never call into
+// Tick at all. (Deadline bookkeeping only; firing behaviour is covered above.)
+TEST(TimerDeadline, DisabledTimerNeverDue) {
+  MachineConfig mc;  // timer_period = 0
+  Machine m(mc);
+  EXPECT_EQ(m.timer().next_deadline(), IntervalTimer::kNever);
+  m.RawCycles(1'000'000);
+  EXPECT_FALSE(m.irq().IsPending(InterruptController::kTimerLine));
+}
+
+}  // namespace
+}  // namespace pmk

@@ -2,6 +2,8 @@
 // way-locking, pollution), branch predictor, interrupt controller/timer and
 // the cost-charging machine.
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "src/hw/machine.h"
@@ -17,6 +19,35 @@ CacheConfig SmallCache(std::uint32_t ways, ReplacementPolicy pol = ReplacementPo
   c.line_bytes = 32;
   c.policy = pol;
   return c;
+}
+
+TEST(CacheConfigTest, ValidGeometriesConstruct) {
+  EXPECT_NO_THROW(Cache(SmallCache(1)));
+  EXPECT_NO_THROW(Cache(SmallCache(4)));
+  CacheConfig l2{.name = "L2", .size_bytes = 128 * 1024, .ways = 8, .line_bytes = 32};
+  EXPECT_NO_THROW(Cache{l2});
+}
+
+TEST(CacheConfigTest, InvalidGeometriesThrow) {
+  CacheConfig c = SmallCache(4);
+  c.ways = 0;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);  // ways < 1
+
+  c = SmallCache(4);
+  c.line_bytes = 24;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);  // non-power-of-two line
+
+  c = SmallCache(4);
+  c.size_bytes = 1024 + 32;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);  // not a multiple of ways*line
+
+  c = SmallCache(4);
+  c.size_bytes = 3 * 4 * 32;  // 3 sets
+  EXPECT_THROW(Cache{c}, std::invalid_argument);  // non-power-of-two set count
+
+  c = SmallCache(4);
+  c.size_bytes = 0;
+  EXPECT_THROW(Cache{c}, std::invalid_argument);
 }
 
 TEST(CacheTest, MissThenHit) {
@@ -307,6 +338,37 @@ TEST(MachineTest, TimerTicksDuringExecution) {
   m.RawCycles(250);
   EXPECT_TRUE(m.irq().IsPending(InterruptController::kTimerLine));
   EXPECT_EQ(m.irq().AssertTime(InterruptController::kTimerLine), 100u);
+}
+
+TEST(MachineTest, TimerAssertionCyclesUnchangedByDeadlineCache) {
+  // Regression for the cached next-deadline scheme: assertion cycles must be
+  // exactly those of ticking the timer on every Advance. Fine-grained
+  // advances land the assertion on the period boundary, not on the advance
+  // that crossed it.
+  MachineConfig mc;
+  mc.timer_period = 100;
+  Machine m(mc);
+  m.timer().Restart(0);
+  EXPECT_EQ(m.timer().next_deadline(), 100u);
+  for (int i = 0; i < 34; ++i) {
+    m.RawCycles(3);  // crosses 100 at now=102
+  }
+  EXPECT_EQ(m.irq().AssertTime(InterruptController::kTimerLine), 100u);
+  ASSERT_TRUE(m.irq().Acknowledge(InterruptController::kTimerLine).has_value());
+  EXPECT_EQ(m.timer().next_deadline(), 200u);
+
+  // One large advance over several periods coalesces onto the first boundary.
+  m.RawCycles(350);  // now=449, periods at 200/300/400
+  EXPECT_EQ(m.irq().AssertTime(InterruptController::kTimerLine), 200u);
+  EXPECT_EQ(m.irq().coalesced_asserts(), 2u);
+  EXPECT_EQ(m.timer().next_deadline(), 500u);
+
+  // A direct set_period poke through the accessor refreshes the deadline.
+  m.timer().set_period(0);
+  EXPECT_EQ(m.timer().next_deadline(), IntervalTimer::kNever);
+  m.timer().set_period(50);
+  m.timer().Restart(m.Now());
+  EXPECT_EQ(m.timer().next_deadline(), m.Now() + 50);
 }
 
 TEST(MachineTest, BranchCostsDependOnPredictorConfig) {
