@@ -10,9 +10,12 @@
 // throws, so an unremapped field added later surfaces as a loud error in the
 // snapshot-fidelity tests instead of silent cross-heap aliasing.
 
+#include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/kernel/kernel.h"
 
@@ -20,20 +23,60 @@ namespace pmk {
 
 namespace {
 
-// old pointer (object or slot) -> its counterpart in the cloned heap.
-using PtrMap = std::unordered_map<const void*, void*>;
+// old pointer -> its counterpart in the cloned heap. Objects are a sorted
+// flat vector probed by binary search; CapSlots (which live only inside
+// CNode slot arrays) are whole-array ranges resolved by offset arithmetic,
+// so remapping costs no per-slot table entry or allocation — forking a
+// checkpoint is on the hot path of the measurement benches.
+class PtrMap {
+ public:
+  void AddObj(const void* old_obj, void* new_obj) { objs_.push_back({old_obj, new_obj}); }
+  void AddSlotRange(const CapSlot* old_begin, std::size_t n, CapSlot* new_begin) {
+    slots_.push_back({old_begin, old_begin + n, new_begin});
+  }
+  void Seal() {
+    std::sort(objs_.begin(), objs_.end(),
+              [](const ObjEntry& a, const ObjEntry& b) {
+                return std::less<const void*>()(a.old_obj, b.old_obj);
+              });
+    std::sort(slots_.begin(), slots_.end(),
+              [](const SlotRange& a, const SlotRange& b) {
+                return std::less<const CapSlot*>()(a.old_begin, b.old_begin);
+              });
+  }
+  void* FindObj(const void* old_obj, const char* what) const {
+    const auto it = std::partition_point(objs_.begin(), objs_.end(), [&](const ObjEntry& e) {
+      return std::less<const void*>()(e.old_obj, old_obj);
+    });
+    if (it == objs_.end() || it->old_obj != old_obj) {
+      throw std::logic_error(std::string("Kernel::Clone: dangling ") + what + " pointer");
+    }
+    return it->new_obj;
+  }
+  CapSlot* FindSlot(const CapSlot* old_slot, const char* what) const {
+    const auto it =
+        std::partition_point(slots_.begin(), slots_.end(), [&](const SlotRange& r) {
+          return !std::less<const CapSlot*>()(old_slot, r.old_end);
+        });
+    if (it == slots_.end() || std::less<const CapSlot*>()(old_slot, it->old_begin)) {
+      throw std::logic_error(std::string("Kernel::Clone: dangling ") + what + " pointer");
+    }
+    return it->new_begin + (old_slot - it->old_begin);
+  }
 
-template <typename T>
-T* Remap(const PtrMap& map, T* old, const char* what) {
-  if (old == nullptr) {
-    return nullptr;
-  }
-  const auto it = map.find(old);
-  if (it == map.end()) {
-    throw std::logic_error(std::string("Kernel::Clone: dangling ") + what + " pointer");
-  }
-  return static_cast<T*>(it->second);
-}
+ private:
+  struct ObjEntry {
+    const void* old_obj;
+    void* new_obj;
+  };
+  struct SlotRange {
+    const CapSlot* old_begin;
+    const CapSlot* old_end;
+    CapSlot* new_begin;
+  };
+  std::vector<ObjEntry> objs_;
+  std::vector<SlotRange> slots_;
+};
 
 }  // namespace
 
@@ -70,42 +113,43 @@ std::unique_ptr<Kernel> Kernel::Clone(Machine* machine) const {
   // record old -> new object identity. The source heap's alignment/overlap
   // invariants transfer to the clone, so the per-insert audit is skipped.
   PtrMap ptr;
-  std::size_t n_slots = 0;
+  std::vector<std::pair<const CNodeObj*, CNodeObj*>> cnodes;
   for (const auto& [base, obj] : objs_.objects()) {
+    KObject* copy = k->objs_.InsertUnchecked(obj->CloneObj());
+    ptr.AddObj(obj.get(), copy);
     if (obj->type == ObjType::kCNode) {
-      n_slots += static_cast<const CNodeObj*>(obj.get())->slots.size();
+      cnodes.emplace_back(static_cast<const CNodeObj*>(obj.get()),
+                          static_cast<CNodeObj*>(copy));
     }
   }
-  ptr.reserve(objs_.objects().size() + objs_.untypeds().size() + 1 + n_slots);
-  for (const auto& [base, obj] : objs_.objects()) {
-    ptr[obj.get()] = k->objs_.InsertUnchecked(obj->CloneObj());
-  }
   for (const auto& [base, ut] : objs_.untypeds()) {
-    ptr[ut.get()] = k->objs_.InsertUnchecked(ut->CloneObj());
+    ptr.AddObj(ut.get(), k->objs_.InsertUnchecked(ut->CloneObj()));
   }
   // The idle thread exists from boot and lives outside the object table.
   k->idle_storage_ = std::make_unique<TcbObj>(*idle_storage_);
   k->idle_ = k->idle_storage_.get();
-  ptr[idle_] = k->idle_;
+  ptr.AddObj(idle_, k->idle_);
 
   // Pass 2: slot identity — a slot maps to the same index of the cloned
   // CNode. (CapSlots live only inside CNode slot arrays.)
-  for (const auto& [base, obj] : objs_.objects()) {
-    if (obj->type != ObjType::kCNode) {
-      continue;
-    }
-    const auto* oc = static_cast<const CNodeObj*>(obj.get());
-    auto* nc = static_cast<CNodeObj*>(ptr.at(obj.get()));
-    for (std::size_t i = 0; i < oc->slots.size(); ++i) {
-      ptr[&oc->slots[i]] = &nc->slots[i];
-    }
+  for (const auto& [oc, nc] : cnodes) {
+    ptr.AddSlotRange(oc->slots.data(), oc->slots.size(), nc->slots.data());
   }
+  ptr.Seal();
 
   // Pass 3: remap every intrusive pointer in the cloned heap.
-  const auto fix_tcb = [&ptr](TcbObj*& p) { p = Remap(ptr, p, "TCB"); };
-  const auto fix_slot = [&ptr](CapSlot*& p) { p = Remap(ptr, p, "CapSlot"); };
+  const auto fix_tcb = [&ptr](TcbObj*& p) {
+    if (p != nullptr) {
+      p = static_cast<TcbObj*>(ptr.FindObj(p, "TCB"));
+    }
+  };
+  const auto fix_slot = [&ptr](CapSlot*& p) {
+    if (p != nullptr) {
+      p = ptr.FindSlot(p, "CapSlot");
+    }
+  };
   const auto fix_object = [&](const KObject* old_obj) {
-    KObject* copy = static_cast<KObject*>(ptr.at(old_obj));
+    KObject* copy = static_cast<KObject*>(ptr.FindObj(old_obj, "object"));
     switch (copy->type) {
       case ObjType::kEndpoint: {
         auto* ep = static_cast<EndpointObj*>(copy);

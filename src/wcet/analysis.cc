@@ -1,5 +1,7 @@
 #include "src/wcet/analysis.h"
 
+#include "src/wcet/refmode.h"
+
 namespace pmk {
 
 const char* EntryPointName(EntryPoint e) {
@@ -35,6 +37,7 @@ WcetAnalyzer::WcetAnalyzer(const KernelImage& image, const AnalysisOptions& opti
     // direct-mapped approximation loses the locked ways.
     cost_opts_.way_bytes = 4096;  // unchanged: one way is already the model
   }
+  memoize_ = !wcet::ReferenceMode();
 }
 
 FuncId WcetAnalyzer::EntryFunc(EntryPoint e) const {
@@ -51,7 +54,14 @@ FuncId WcetAnalyzer::EntryFunc(EntryPoint e) const {
   return kNoFunc;
 }
 
-EntryResult WcetAnalyzer::Analyze(EntryPoint entry) const {
+const CostModelCache& WcetAnalyzer::BlockCache() const {
+  std::call_once(block_cache_once_, [&] {
+    block_cache_ = std::make_unique<CostModelCache>(image_->prog, cost_opts_);
+  });
+  return *block_cache_;
+}
+
+EntryResult WcetAnalyzer::AnalyzeUncached(EntryPoint entry) const {
   EntryResult res;
   res.entry = entry;
 
@@ -68,7 +78,8 @@ EntryResult WcetAnalyzer::Analyze(EntryPoint entry) const {
     }
   }
 
-  const CostResult costs = ComputeNodeCosts(graph, cost_opts_);
+  const CostResult costs = memoize_ ? ComputeNodeCosts(graph, BlockCache())
+                                    : ComputeNodeCosts(graph, cost_opts_);
 
   IpetOptions iopts;
   iopts.irq_pending = opts_.irq_pending;
@@ -82,12 +93,32 @@ EntryResult WcetAnalyzer::Analyze(EntryPoint entry) const {
   return res;
 }
 
+EntryResult WcetAnalyzer::Analyze(EntryPoint entry) const {
+  if (!memoize_) {
+    return AnalyzeUncached(entry);
+  }
+  EntryState& st = entries_[static_cast<std::size_t>(entry)];
+  std::call_once(st.once,
+                 [&] { st.result = std::make_unique<EntryResult>(AnalyzeUncached(entry)); });
+  return *st.result;
+}
+
 Cycles WcetAnalyzer::EvaluateTrace(const Trace& trace) const {
-  return EvaluateTraceCost(image_->prog, trace, cost_opts_);
+  if (!memoize_) {
+    return EvaluateTraceCost(image_->prog, trace, cost_opts_);
+  }
+  return EvaluateTraceCost(BlockCache(), trace);
 }
 
 std::vector<Cycles> WcetAnalyzer::PerBlockBounds() const {
   std::vector<Cycles> bounds(image_->prog.num_blocks(), 0);
+  if (memoize_) {
+    const CostModelCache& cache = BlockCache();
+    for (BlockId id = 0; id < bounds.size(); ++id) {
+      bounds[id] = cache.worst_case(id);
+    }
+    return bounds;
+  }
   for (BlockId id = 0; id < bounds.size(); ++id) {
     bounds[id] = BlockWorstCaseCost(image_->prog, id, cost_opts_);
   }

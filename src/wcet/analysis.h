@@ -8,7 +8,9 @@
 #ifndef SRC_WCET_ANALYSIS_H_
 #define SRC_WCET_ANALYSIS_H_
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,16 @@ struct EntryResult {
   Trace worst_trace;
 };
 
+// Analysis driver for one (kernel image, options) pair.
+//
+// The expensive intermediate state — the block-level cost-model cache and,
+// per entry point, the inlined graph / loop bounds / abstract-cache fixpoint
+// / IPET solution — is derived once on first use and memoized, shared by
+// Analyze, EvaluateTrace, InterruptResponseBound and PerBlockBounds.
+// Memoization is thread-safe (std::call_once per cache), so one analyzer may
+// be driven concurrently from engine::RunJobs workers. Analyzers constructed
+// while pmk::wcet::ReferenceMode() is on skip all memoization and re-derive
+// everything per call, reproducing the seed cost profile for benchmarking.
 class WcetAnalyzer {
  public:
   WcetAnalyzer(const KernelImage& image, const AnalysisOptions& options);
@@ -66,11 +78,23 @@ class WcetAnalyzer {
   const CostModelOptions& cost_options() const { return cost_opts_; }
 
  private:
+  struct EntryState {
+    std::once_flag once;
+    std::unique_ptr<EntryResult> result;
+  };
+
   FuncId EntryFunc(EntryPoint e) const;
+  EntryResult AnalyzeUncached(EntryPoint entry) const;
+  const CostModelCache& BlockCache() const;
 
   const KernelImage* image_;
   AnalysisOptions opts_;
   CostModelOptions cost_opts_;
+  bool memoize_ = true;  // false when constructed in reference mode
+
+  mutable std::array<EntryState, 4> entries_;
+  mutable std::once_flag block_cache_once_;
+  mutable std::unique_ptr<CostModelCache> block_cache_;
 };
 
 }  // namespace pmk

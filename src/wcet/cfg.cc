@@ -22,6 +22,7 @@ InlinedGraph::InlinedGraph(const Program& program, FuncId entry)
     throw std::logic_error("InlinedGraph: entry function has no path-end blocks");
   }
   FindLoops();
+  ComputeTopoOrder();
 }
 
 NodeId InlinedGraph::NewNode(BlockId block, std::uint32_t instance) {
@@ -168,7 +169,7 @@ void InlinedGraph::FindLoops() {
   }
 }
 
-std::vector<NodeId> InlinedGraph::QuasiTopoOrder() const {
+void InlinedGraph::ComputeTopoOrder() {
   // Back edges to ignore.
   std::vector<bool> is_back(edges_.size(), false);
   for (const InlinedLoop& l : loops_) {
@@ -207,7 +208,7 @@ std::vector<NodeId> InlinedGraph::QuasiTopoOrder() const {
   if (order.size() != nodes_.size()) {
     throw std::logic_error("InlinedGraph: quasi-topological order incomplete (irreducible?)");
   }
-  return order;
+  topo_order_ = std::move(order);
 }
 
 }  // namespace pmk

@@ -76,7 +76,9 @@ class InlinedGraph {
   std::size_t NumInstances() const { return instances_.size(); }
 
   // Topological order of nodes ignoring loop back edges (for dataflow).
-  std::vector<NodeId> QuasiTopoOrder() const;
+  // Computed once at construction (the edge set never changes afterwards)
+  // and shared by every dataflow pass over this graph.
+  const std::vector<NodeId>& QuasiTopoOrder() const { return topo_order_; }
 
  private:
   // Recursively clones |func|; returns (entry node, return nodes).
@@ -88,6 +90,7 @@ class InlinedGraph {
   NodeId NewNode(BlockId block, std::uint32_t instance);
   EdgeId NewEdge(NodeId from, NodeId to, InlinedEdge::Kind kind);
   void FindLoops();
+  void ComputeTopoOrder();
 
   const Program* program_;
   FuncId entry_;
@@ -98,6 +101,7 @@ class InlinedGraph {
   NodeId entry_node_ = kNoNode;
   EdgeId source_edge_ = 0;
   std::vector<EdgeId> sink_edges_;
+  std::vector<NodeId> topo_order_;
 };
 
 }  // namespace pmk

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <set>
 #include <stdexcept>
+
+#include "src/wcet/refmode.h"
 
 namespace pmk {
 
@@ -53,14 +56,9 @@ struct AbstractState {
   }
 };
 
-struct Access {
-  Addr line = 0;
-  bool instruction = false;
-};
-
 // Enumerates the statically-known lines a block touches.
 void CollectAccesses(const Program& p, const Block& b, const CostModelOptions& opts,
-                     std::vector<Access>& out) {
+                     std::vector<LineAccess>& out) {
   const Addr first = b.address / opts.line_bytes;
   const Addr last = (b.address + static_cast<Addr>(b.instr_count) * 4 - 1) / opts.line_bytes;
   for (Addr l = first; l <= last; ++l) {
@@ -72,7 +70,7 @@ void CollectAccesses(const Program& p, const Block& b, const CostModelOptions& o
   }
 }
 
-bool IsPinned(const CostModelOptions& opts, const Access& a) {
+bool IsPinned(const CostModelOptions& opts, const LineAccess& a) {
   return a.instruction ? opts.pinned_ilines.count(a.line) != 0
                        : opts.pinned_dlines.count(a.line) != 0;
 }
@@ -93,9 +91,13 @@ Cycles BaseCost(const Block& b, const CostModelOptions& opts) {
   return cost;
 }
 
-}  // namespace
-
-CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts) {
+// Reference twin of ComputeNodeCosts: the seed implementation's cost profile,
+// kept verbatim for ReferenceMode() benchmarking and equivalence tests —
+// whole-graph passes iterated to convergence (every node recomputed every
+// pass) and per-node access collection with no shared block cache. The
+// transfer function and join are identical to the worklist version, so both
+// reach the same unique fixpoint and produce equal CostResults.
+CostResult ComputeNodeCostsReference(const InlinedGraph& g, const CostModelOptions& opts) {
   const Program& p = g.program();
   const std::vector<NodeId> order = g.QuasiTopoOrder();
   const std::uint32_t num_sets = opts.way_bytes / opts.line_bytes;
@@ -106,9 +108,9 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
   std::vector<AbstractState> out_states(g.nodes().size(),
                                         AbstractState(opts.way_bytes, opts.line_bytes));
   const auto apply = [&](const Block& b, AbstractState& st) {
-    std::vector<Access> acc;
+    std::vector<LineAccess> acc;
     CollectAccesses(p, b, opts, acc);
-    for (const Access& a : acc) {
+    for (const LineAccess& a : acc) {
       if (IsPinned(opts, a)) {
         continue;
       }
@@ -118,8 +120,6 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
 
   // Run to convergence: stopping early on a still-changing state would leave
   // stale must-information (an UNDER-estimate of misses, i.e. unsound).
-  // Convergence is fast in practice (joins only remove information); the cap
-  // is a safety net against non-monotone bugs.
   constexpr int kMaxPasses = 1000;
   int pass = 0;
   for (; pass < kMaxPasses; ++pass) {
@@ -187,10 +187,7 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
     }
   }
 
-  // ---- Persistence: per loop, lines whose cache set is touched by exactly
-  // one distinct line within the body (so they cannot be evicted while the
-  // loop runs) ----
-  // Key: (loop, instruction?, set) -> distinct lines seen.
+  // ---- Persistence ----
   std::vector<std::map<std::uint32_t, Addr>> iset_line(g.loops().size());
   std::vector<std::map<std::uint32_t, Addr>> dset_line(g.loops().size());
   constexpr Addr kConflict = static_cast<Addr>(-2);
@@ -198,12 +195,10 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
     if (containing[n].empty()) {
       continue;
     }
-    std::vector<Access> acc;
+    std::vector<LineAccess> acc;
     CollectAccesses(p, g.BlockOf(n), opts, acc);
-    // A node's accesses are registered in EVERY loop containing it, so an
-    // inner-loop body also constrains persistence of the outer loop.
     for (int lj : containing[n]) {
-      for (const Access& a : acc) {
+      for (const LineAccess& a : acc) {
         if (IsPinned(opts, a)) {
           continue;
         }
@@ -216,16 +211,13 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
       }
     }
   }
-  const auto persistent_in = [&](int li, const Access& a) {
+  const auto persistent_in = [&](int li, const LineAccess& a) {
     const std::uint32_t set = static_cast<std::uint32_t>((a.line / opts.line_bytes) % num_sets);
     const auto& m = (a.instruction ? iset_line : dset_line)[li];
     const auto it = m.find(set);
     return it != m.end() && it->second == a.line;
   };
-  // The first-miss charge belongs to the OUTERMOST loop in which the line is
-  // persistent: re-entering an inner loop does not evict lines the outer
-  // loop also preserves.
-  const auto persistence_loop = [&](NodeId n, const Access& a) -> int {
+  const auto persistence_loop = [&](NodeId n, const LineAccess& a) -> int {
     for (int li : containing[n]) {  // outermost first
       if (persistent_in(li, a)) {
         return li;
@@ -248,9 +240,9 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
     const Block& b = g.BlockOf(n);
     Cycles cost = BaseCost(b, opts);
     AbstractState st = in_states[n];
-    std::vector<Access> acc;
+    std::vector<LineAccess> acc;
     CollectAccesses(p, b, opts, acc);
-    for (const Access& a : acc) {
+    for (const LineAccess& a : acc) {
       if (IsPinned(opts, a)) {
         continue;
       }
@@ -260,7 +252,6 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
       }
       const int li = persistence_loop(n, a);
       if (li >= 0) {
-        // First-miss: charged once on that loop's entry edges.
         (a.instruction ? loop_first_i : loop_first_d)[li].insert(a.line);
       } else {
         cost += opts.MissPenaltyFor(a.line);
@@ -287,12 +278,234 @@ CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts)
   return res;
 }
 
+}  // namespace
+
+CostModelCache::CostModelCache(const Program& program, const CostModelOptions& opts)
+    : program_(&program), opts_(opts) {
+  const std::size_t n = program.num_blocks();
+  start_.assign(n + 1, 0);
+  base_.assign(n, 0);
+  worst_.assign(n, 0);
+  std::vector<LineAccess> acc;
+  for (BlockId id = 0; id < n; ++id) {
+    const Block& b = program.block(id);
+    acc.clear();
+    CollectAccesses(program, b, opts_, acc);
+    Cycles worst = BaseCost(b, opts_);
+    base_[id] = worst;
+    for (const LineAccess& a : acc) {
+      if (IsPinned(opts_, a)) {
+        continue;  // pinned lines always hit: drop them from every pass
+      }
+      pool_.push_back(a);
+      worst += opts_.MissPenaltyFor(a.line);
+    }
+    worst_[id] = worst;
+    start_[id + 1] = static_cast<std::uint32_t>(pool_.size());
+  }
+}
+
+CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelCache& cache) {
+  const CostModelOptions& opts = cache.options();
+  const std::vector<NodeId>& order = g.QuasiTopoOrder();
+  const std::uint32_t num_sets = opts.way_bytes / opts.line_bytes;
+  const std::size_t num_nodes = g.nodes().size();
+
+  // ---- Must-cache fixpoint ----
+  std::vector<AbstractState> in_states(num_nodes, AbstractState(opts.way_bytes, opts.line_bytes));
+  std::vector<AbstractState> out_states(num_nodes, AbstractState(opts.way_bytes, opts.line_bytes));
+  const auto apply = [&](BlockId bid, AbstractState& st) {
+    for (const LineAccess* a = cache.accesses_begin(bid); a != cache.accesses_end(bid); ++a) {
+      (a->instruction ? st.icache : st.dcache).Access(a->line);
+    }
+  };
+
+  // Worklist-driven chaotic iteration in quasi-topological sweeps: only nodes
+  // whose predecessors' out-states changed are re-evaluated. The transfer
+  // function and join are monotone (must-information is only ever removed),
+  // so this reaches the same unique fixpoint as whole-graph iteration to
+  // convergence; stopping with dirty nodes outstanding would leave stale
+  // must-information (an UNDER-estimate of misses, i.e. unsound). The cap is
+  // a safety net against non-monotone bugs.
+  std::vector<char> dirty(num_nodes, 1);
+  const std::size_t kMaxRecomputes = static_cast<std::size_t>(1000) * std::max<std::size_t>(num_nodes, 1);
+  std::size_t recomputes = 0;
+  bool any_dirty = true;
+  while (any_dirty) {
+    any_dirty = false;
+    for (NodeId n : order) {
+      if (!dirty[n]) {
+        continue;
+      }
+      dirty[n] = 0;
+      if (++recomputes > kMaxRecomputes) {
+        throw std::logic_error("must-cache analysis failed to converge");
+      }
+      AbstractState st(opts.way_bytes, opts.line_bytes);
+      bool first = true;
+      for (EdgeId eid : g.nodes()[n].in) {
+        const InlinedEdge& e = g.edges()[eid];
+        const AbstractState* pred = nullptr;
+        AbstractState cold(opts.way_bytes, opts.line_bytes);
+        if (e.from == kNoNode) {
+          cold.reachable = true;  // kernel entry: cold caches
+          pred = &cold;
+        } else if (out_states[e.from].reachable) {
+          pred = &out_states[e.from];
+        } else {
+          continue;
+        }
+        if (first) {
+          st = *pred;
+          first = false;
+        } else {
+          st.icache.JoinWith(pred->icache);
+          st.dcache.JoinWith(pred->dcache);
+        }
+      }
+      if (first) {
+        continue;  // unreachable so far
+      }
+      st.reachable = true;
+      if (!(in_states[n] == st)) {
+        in_states[n] = st;
+      }
+      AbstractState out = st;
+      apply(g.nodes()[n].block, out);
+      if (!(out_states[n] == out)) {
+        out_states[n] = std::move(out);
+        for (EdgeId eid : g.nodes()[n].out) {
+          const InlinedEdge& e = g.edges()[eid];
+          if (e.to != kNoNode) {
+            dirty[e.to] = 1;
+            any_dirty = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Loop membership: containing loops per node, outermost first ----
+  std::vector<std::vector<int>> containing(num_nodes);
+  {
+    std::vector<std::size_t> by_size(g.loops().size());
+    for (std::size_t i = 0; i < by_size.size(); ++i) {
+      by_size[i] = i;
+    }
+    std::sort(by_size.begin(), by_size.end(), [&](std::size_t a, std::size_t b) {
+      return g.loops()[a].body.size() > g.loops()[b].body.size();
+    });
+    for (std::size_t li : by_size) {
+      for (NodeId n : g.loops()[li].body) {
+        containing[n].push_back(static_cast<int>(li));
+      }
+    }
+  }
+
+  // ---- Persistence: per loop, lines whose cache set is touched by exactly
+  // one distinct line within the body (so they cannot be evicted while the
+  // loop runs) ----
+  // Key: (loop, instruction?, set) -> distinct lines seen.
+  std::vector<std::map<std::uint32_t, Addr>> iset_line(g.loops().size());
+  std::vector<std::map<std::uint32_t, Addr>> dset_line(g.loops().size());
+  constexpr Addr kConflict = static_cast<Addr>(-2);
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (containing[n].empty()) {
+      continue;
+    }
+    const BlockId bid = g.nodes()[n].block;
+    // A node's accesses are registered in EVERY loop containing it, so an
+    // inner-loop body also constrains persistence of the outer loop.
+    for (int lj : containing[n]) {
+      for (const LineAccess* a = cache.accesses_begin(bid); a != cache.accesses_end(bid); ++a) {
+        const std::uint32_t set = static_cast<std::uint32_t>((a->line / opts.line_bytes) % num_sets);
+        auto& m = (a->instruction ? iset_line : dset_line)[lj];
+        auto [it, inserted] = m.emplace(set, a->line);
+        if (!inserted && it->second != a->line) {
+          it->second = kConflict;
+        }
+      }
+    }
+  }
+  const auto persistent_in = [&](int li, const LineAccess& a) {
+    const std::uint32_t set = static_cast<std::uint32_t>((a.line / opts.line_bytes) % num_sets);
+    const auto& m = (a.instruction ? iset_line : dset_line)[li];
+    const auto it = m.find(set);
+    return it != m.end() && it->second == a.line;
+  };
+  // The first-miss charge belongs to the OUTERMOST loop in which the line is
+  // persistent: re-entering an inner loop does not evict lines the outer
+  // loop also preserves.
+  const auto persistence_loop = [&](NodeId n, const LineAccess& a) -> int {
+    for (int li : containing[n]) {  // outermost first
+      if (persistent_in(li, a)) {
+        return li;
+      }
+    }
+    return -1;
+  };
+
+  // ---- Per-node costs + per-loop first-miss charges ----
+  CostResult res;
+  res.node_costs.assign(num_nodes, 0);
+  res.edge_extras.assign(g.edges().size(), 0);
+  std::vector<std::set<Addr>> loop_first_i(g.loops().size());
+  std::vector<std::set<Addr>> loop_first_d(g.loops().size());
+
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (!in_states[n].reachable) {
+      continue;
+    }
+    const BlockId bid = g.nodes()[n].block;
+    Cycles cost = cache.base_cost(bid);
+    AbstractState st = in_states[n];
+    for (const LineAccess* a = cache.accesses_begin(bid); a != cache.accesses_end(bid); ++a) {
+      const bool hit = (a->instruction ? st.icache : st.dcache).Access(a->line);
+      if (hit) {
+        continue;
+      }
+      const int li = persistence_loop(n, *a);
+      if (li >= 0) {
+        // First-miss: charged once on that loop's entry edges.
+        (a->instruction ? loop_first_i : loop_first_d)[li].insert(a->line);
+      } else {
+        cost += opts.MissPenaltyFor(a->line);
+      }
+    }
+    res.node_costs[n] = cost;
+  }
+
+  for (std::size_t li = 0; li < g.loops().size(); ++li) {
+    Cycles extra = 0;
+    for (Addr line : loop_first_i[li]) {
+      extra += opts.MissPenaltyFor(line);
+    }
+    for (Addr line : loop_first_d[li]) {
+      extra += opts.MissPenaltyFor(line);
+    }
+    if (extra == 0) {
+      continue;
+    }
+    for (EdgeId e : g.loops()[li].entries) {
+      res.edge_extras[e] += extra;
+    }
+  }
+  return res;
+}
+
+CostResult ComputeNodeCosts(const InlinedGraph& g, const CostModelOptions& opts) {
+  if (wcet::ReferenceMode()) {
+    return ComputeNodeCostsReference(g, opts);
+  }
+  return ComputeNodeCosts(g, CostModelCache(g.program(), opts));
+}
+
 Cycles BlockWorstCaseCost(const Program& p, BlockId id, const CostModelOptions& opts) {
   const Block& b = p.block(id);
   Cycles total = BaseCost(b, opts);
-  std::vector<Access> acc;
+  std::vector<LineAccess> acc;
   CollectAccesses(p, b, opts, acc);
-  for (const Access& a : acc) {
+  for (const LineAccess& a : acc) {
     if (!IsPinned(opts, a)) {
       total += opts.MissPenaltyFor(a.line);
     }
@@ -300,24 +513,44 @@ Cycles BlockWorstCaseCost(const Program& p, BlockId id, const CostModelOptions& 
   return total;
 }
 
-Cycles EvaluateTraceCost(const Program& p, const Trace& trace, const CostModelOptions& opts) {
+Cycles EvaluateTraceCost(const CostModelCache& cache, const Trace& trace) {
+  const CostModelOptions& opts = cache.options();
   AbstractState st(opts.way_bytes, opts.line_bytes);
   Cycles total = 0;
   for (BlockId bid : trace.blocks) {
-    const Block& b = p.block(bid);
-    total += BaseCost(b, opts);
-    std::vector<Access> acc;
-    CollectAccesses(p, b, opts, acc);
-    for (const Access& a : acc) {
-      if (IsPinned(opts, a)) {
-        continue;
-      }
-      if (!(a.instruction ? st.icache : st.dcache).Access(a.line)) {
-        total += opts.MissPenaltyFor(a.line);
+    total += cache.base_cost(bid);
+    for (const LineAccess* a = cache.accesses_begin(bid); a != cache.accesses_end(bid); ++a) {
+      if (!(a->instruction ? st.icache : st.dcache).Access(a->line)) {
+        total += opts.MissPenaltyFor(a->line);
       }
     }
   }
   return total;
+}
+
+Cycles EvaluateTraceCost(const Program& p, const Trace& trace, const CostModelOptions& opts) {
+  if (wcet::ReferenceMode()) {
+    // Reference twin: the seed evaluator's per-block access collection, with
+    // the pin filter applied on every block visit instead of once up front.
+    AbstractState st(opts.way_bytes, opts.line_bytes);
+    Cycles total = 0;
+    for (BlockId bid : trace.blocks) {
+      const Block& b = p.block(bid);
+      total += BaseCost(b, opts);
+      std::vector<LineAccess> acc;
+      CollectAccesses(p, b, opts, acc);
+      for (const LineAccess& a : acc) {
+        if (IsPinned(opts, a)) {
+          continue;
+        }
+        if (!(a.instruction ? st.icache : st.dcache).Access(a.line)) {
+          total += opts.MissPenaltyFor(a.line);
+        }
+      }
+    }
+    return total;
+  }
+  return EvaluateTraceCost(CostModelCache(p, opts), trace);
 }
 
 }  // namespace pmk

@@ -15,7 +15,8 @@
 #ifndef SRC_WCET_COST_H_
 #define SRC_WCET_COST_H_
 
-#include <set>
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "src/hw/cycles.h"
@@ -23,6 +24,37 @@
 #include "src/wcet/cfg.h"
 
 namespace pmk {
+
+// Sorted flat vector of way-locked line addresses. Keeps the std::set-shaped
+// construction API (insert one / insert range, count) that analysis.cc and
+// the tests use, but membership probes in the cost hot loop are a binary
+// search over contiguous storage instead of pointer-chasing a red-black tree.
+class PinnedLineSet {
+ public:
+  PinnedLineSet() = default;
+
+  void insert(Addr line) {
+    const auto it = std::lower_bound(lines_.begin(), lines_.end(), line);
+    if (it == lines_.end() || *it != line) {
+      lines_.insert(it, line);
+    }
+  }
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) {
+      insert(*first);
+    }
+  }
+  std::size_t count(Addr line) const {
+    return std::binary_search(lines_.begin(), lines_.end(), line) ? 1u : 0u;
+  }
+  bool empty() const { return lines_.empty(); }
+  std::size_t size() const { return lines_.size(); }
+  const std::vector<Addr>& lines() const { return lines_; }
+
+ private:
+  std::vector<Addr> lines_;
+};
 
 struct CostModelOptions {
   bool l2_enabled = false;
@@ -33,8 +65,8 @@ struct CostModelOptions {
   Cycles branch_cost = 5;     // branch predictor disabled: constant 5 cycles
   std::uint32_t line_bytes = 32;
   std::uint32_t way_bytes = 4 * 1024;  // 16 KiB 4-way: one way = 4 KiB
-  std::set<Addr> pinned_ilines;        // way-locked lines: always hit
-  std::set<Addr> pinned_dlines;
+  PinnedLineSet pinned_ilines;         // way-locked lines: always hit
+  PinnedLineSet pinned_dlines;
 
   // "Lock the entire kernel into the L2" (paper Sections 4, 6.4, 8): every
   // statically-addressed access within [l2_pinned_lo, l2_pinned_hi) misses
@@ -52,6 +84,39 @@ struct CostModelOptions {
   }
 };
 
+// One statically-known line touch of a block.
+struct LineAccess {
+  Addr line = 0;
+  bool instruction = false;
+};
+
+// Per-block cost-model state derived once from (program, options) and shared
+// by every analysis pass: the statically-known line accesses of each block
+// with way-locked (pinned) lines already filtered out, the cache-independent
+// base cost, and the any-state worst-case cost. Immutable after
+// construction, so it is safe to share across the job pool's threads.
+class CostModelCache {
+ public:
+  CostModelCache(const Program& program, const CostModelOptions& opts);
+
+  const Program& program() const { return *program_; }
+  const CostModelOptions& options() const { return opts_; }
+
+  const LineAccess* accesses_begin(BlockId id) const { return pool_.data() + start_[id]; }
+  const LineAccess* accesses_end(BlockId id) const { return pool_.data() + start_[id + 1]; }
+  Cycles base_cost(BlockId id) const { return base_[id]; }
+  // BlockWorstCaseCost, precomputed.
+  Cycles worst_case(BlockId id) const { return worst_[id]; }
+
+ private:
+  const Program* program_;
+  CostModelOptions opts_;
+  std::vector<std::uint32_t> start_;  // num_blocks + 1, CSR-style offsets
+  std::vector<LineAccess> pool_;
+  std::vector<Cycles> base_;
+  std::vector<Cycles> worst_;
+};
+
 struct CostResult {
   std::vector<Cycles> node_costs;   // per inlined node, per execution
   std::vector<Cycles> edge_extras;  // per inlined edge: loop first-miss cost
@@ -61,11 +126,13 @@ struct CostResult {
 // loop-persistent lines, a one-time cost on the loop's entry edges.
 // Loop bounds must already be attached (ComputeLoopBounds) so innermost-loop
 // membership is known.
+CostResult ComputeNodeCosts(const InlinedGraph& graph, const CostModelCache& cache);
 CostResult ComputeNodeCosts(const InlinedGraph& graph, const CostModelOptions& opts);
 
 // Conservative cost of one concrete executed path (block sequence), using
 // the same cost model without joins. Used to force the analysis onto a
 // measured path (paper Sections 5.4 and 6.2).
+Cycles EvaluateTraceCost(const CostModelCache& cache, const Trace& trace);
 Cycles EvaluateTraceCost(const Program& program, const Trace& trace,
                          const CostModelOptions& opts);
 

@@ -1,10 +1,13 @@
 // Exact integer-linear-programming solver for IPET (paper Section 5.2).
 //
 // Chronos emits an ILP that is handed to an off-the-shelf solver; we build
-// that solver too: a dense two-phase simplex for the LP relaxation plus
-// branch-and-bound on fractional variables. IPET instances are network-flow
-// shaped, so the relaxation is almost always integral and branching is a
-// rarely-exercised safety net.
+// that solver too. The production path is a sparse revised simplex (CSR/CSC
+// constraint matrix, product-form eta-file basis inverse with periodic
+// refactorisation, warm-started branch-and-bound); a dense two-phase tableau
+// twin is retained behind pmk::wcet::SetReferenceMode and both paths must
+// agree exactly on status, bounds and solutions. IPET instances are
+// network-flow shaped, so the relaxation is almost always integral and
+// branching is a rarely-exercised safety net.
 
 #ifndef SRC_WCET_ILP_H_
 #define SRC_WCET_ILP_H_
@@ -47,6 +50,10 @@ struct SolveResult {
   SolveStatus status = SolveStatus::kInfeasible;
   double objective = 0;
   std::vector<double> x;
+  // Simplex iterations attempted (summed over phases and, for SolveIlp, over
+  // all branch-and-bound nodes). Diagnostic only: lets tests assert that the
+  // Bland anti-cycling rule or the warm-start path actually engaged.
+  std::uint64_t pivots = 0;
 };
 
 // Solves the LP relaxation (x real, >= 0).

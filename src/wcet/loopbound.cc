@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <limits>
 #include <optional>
-#include <set>
+
+#include "src/wcet/refmode.h"
 
 namespace pmk {
 
@@ -42,10 +44,13 @@ std::optional<std::int64_t> FindInitValue(const InlinedGraph& g, const InlinedLo
     }
   }
   const std::uint32_t inst = g.nodes()[loop.head].instance;
-  std::set<NodeId> body(loop.body.begin(), loop.body.end());
+  std::vector<std::uint8_t> body(g.nodes().size(), 0);
+  for (const NodeId n : loop.body) {
+    body[n] = 1;
+  }
   std::optional<std::int64_t> best;
   for (NodeId n : g.InstanceNodes(inst)) {
-    if (body.count(n) != 0) {
+    if (body[n] != 0) {
       continue;
     }
     for (const RegOp& op : g.BlockOf(n).reg_ops) {
@@ -57,12 +62,17 @@ std::optional<std::int64_t> FindInitValue(const InlinedGraph& g, const InlinedLo
   return best;
 }
 
-// Enumerates simple cycles head -> ... -> head within the body.
+// Enumerates simple cycles head -> ... -> head within the body. Membership
+// tests use flat per-node bitmaps; the DFS edge order (and therefore the
+// enumerated cycle list) is unchanged.
 void EnumerateCycles(const InlinedGraph& g, const InlinedLoop& loop,
                      std::vector<std::vector<EdgeId>>& out) {
-  std::set<NodeId> body(loop.body.begin(), loop.body.end());
+  std::vector<std::uint8_t> body(g.nodes().size(), 0);
+  for (const NodeId n : loop.body) {
+    body[n] = 1;
+  }
   std::vector<EdgeId> path;
-  std::set<NodeId> visited;
+  std::vector<std::uint8_t> visited(g.nodes().size(), 0);
 
   struct Frame {
     NodeId node;
@@ -76,7 +86,7 @@ void EnumerateCycles(const InlinedGraph& g, const InlinedLoop& loop,
     const auto& outs = g.nodes()[f.node].out;
     if (f.next_edge >= outs.size() || path.size() >= kMaxCycleLen) {
       if (stack.size() > 1) {
-        visited.erase(f.node);
+        visited[f.node] = 0;
         path.pop_back();
       }
       stack.pop_back();
@@ -84,7 +94,7 @@ void EnumerateCycles(const InlinedGraph& g, const InlinedLoop& loop,
     }
     const EdgeId eid = outs[f.next_edge++];
     const InlinedEdge& e = g.edges()[eid];
-    if (e.to == kNoNode || body.count(e.to) == 0) {
+    if (e.to == kNoNode || body[e.to] == 0) {
       continue;
     }
     if (e.to == loop.head) {
@@ -93,10 +103,10 @@ void EnumerateCycles(const InlinedGraph& g, const InlinedLoop& loop,
       path.pop_back();
       continue;
     }
-    if (visited.count(e.to) != 0) {
+    if (visited[e.to] != 0) {
       continue;
     }
-    visited.insert(e.to);
+    visited[e.to] = 1;
     path.push_back(eid);
     stack.push_back({e.to, 0});
   }
@@ -184,6 +194,106 @@ std::optional<std::uint32_t> SimulateCycle(const InlinedGraph& g, const InlinedL
   return std::nullopt;
 }
 
+// Closed-form twin of SimulateCycle for the common shape: every tracked-reg
+// update in the cycle is a constant add (no kConst reset, no kMovReg) and
+// every guard compares the register against an immediate with kGe/kLt. The
+// register at the start of iteration c is then init + (c-1)*D (D = net add
+// per cycle), each guard's failure condition is a half-line in that linear
+// value, and the first failing iteration is a division instead of a
+// simulation that walks every iteration up to the real loop bound. Returns
+// nullopt when the cycle is outside that shape (caller falls back to the
+// simulation); otherwise the result is exactly SimulateCycle's, including
+// the kMaxIterations unbounded cap.
+std::optional<std::optional<std::uint32_t>> ClosedFormCycleCount(
+    const InlinedGraph& g, const InlinedLoop& loop, std::uint8_t reg, std::int64_t init,
+    const std::vector<EdgeId>& cycle) {
+  const std::uint32_t inst = g.nodes()[loop.head].instance;
+
+  // Symbolically execute one iteration: accumulate the running add-delta and
+  // collect each guard check as (prefix delta, failure half-line).
+  struct Guard {
+    std::int64_t prefix = 0;  // reg delta applied before this check
+    std::int64_t rhs = 0;
+    bool fail_below = false;  // true: fails when v < rhs; false: v >= rhs
+  };
+  std::vector<Guard> guards;
+  std::int64_t delta = 0;
+  NodeId cur = loop.head;
+  for (const EdgeId eid : cycle) {
+    const InlinedEdge& e = g.edges()[eid];
+    if (e.from != cur) {
+      return std::nullopt;  // malformed: let the simulation refuse it
+    }
+    const Block& b = g.BlockOf(e.from);
+    if (g.nodes()[e.from].instance == inst) {
+      for (const RegOp& op : b.reg_ops) {
+        if (op.dst != reg) {
+          continue;
+        }
+        if (op.kind != RegOp::Kind::kAdd) {
+          return std::nullopt;  // kConst reset or untracked kMovReg
+        }
+        delta += op.imm;
+      }
+      if (b.cond.HasSemantics() && b.cond.lhs == reg && b.cond.rhs_is_imm) {
+        const bool taken = e.kind == InlinedEdge::Kind::kTaken;
+        if (!taken && b.cond.one_sided) {
+          // One-sided fall-through never exits; no failure condition.
+        } else {
+          Guard gd;
+          gd.prefix = delta;
+          gd.rhs = b.cond.rhs_imm;
+          switch (b.cond.cmp) {
+            case BranchCond::Cmp::kGe:
+              // cond true iff v >= rhs; taken fails when false (v < rhs),
+              // two-sided fall-through fails when true (v >= rhs).
+              gd.fail_below = taken;
+              break;
+            case BranchCond::Cmp::kLt:
+              gd.fail_below = !taken;
+              break;
+            default:
+              return std::nullopt;  // kEq/kNe: not monotone in v
+          }
+          guards.push_back(gd);
+        }
+      }
+    }
+    cur = e.to;
+  }
+  if (cur != loop.head) {
+    return std::nullopt;
+  }
+
+  // First iteration c >= 1 at which any guard fails, where the guarded value
+  // is u(c) = init + (c-1)*delta + prefix.
+  std::uint64_t first_fail = std::numeric_limits<std::uint64_t>::max();
+  for (const Guard& gd : guards) {
+    const __int128 a = static_cast<__int128>(init) + gd.prefix;  // u(1)
+    const __int128 t = gd.rhs;
+    std::uint64_t c = std::numeric_limits<std::uint64_t>::max();  // never
+    if (gd.fail_below ? a < t : a >= t) {
+      c = 1;
+    } else if (delta != 0) {
+      if (gd.fail_below && delta < 0) {
+        // a - (c-1)*(-delta) < t, first at c-1 = floor((a-t)/(-delta)) + 1.
+        const __int128 d = -static_cast<__int128>(delta);
+        c = static_cast<std::uint64_t>((a - t) / d) + 2;
+      } else if (!gd.fail_below && delta > 0) {
+        // a + (c-1)*delta >= t, first at c-1 = ceil((t-a)/delta).
+        const __int128 d = delta;
+        c = static_cast<std::uint64_t>((t - a + d - 1) / d) + 1;
+      }
+      // Moving away from the threshold: never fails.
+    }
+    first_fail = std::min(first_fail, c);
+  }
+  if (first_fail > kMaxIterations) {
+    return std::optional<std::uint32_t>(std::nullopt);  // simulation cap
+  }
+  return std::optional<std::uint32_t>(static_cast<std::uint32_t>(first_fail));
+}
+
 }  // namespace
 
 std::vector<LoopBoundResult> ComputeLoopBounds(InlinedGraph& graph) {
@@ -201,8 +311,20 @@ std::vector<LoopBoundResult> ComputeLoopBounds(InlinedGraph& graph) {
         EnumerateCycles(graph, loop, cycles);
         std::optional<std::uint32_t> worst;
         bool all_ok = !cycles.empty();
+        const bool reference = wcet::ReferenceMode();
         for (const auto& cyc : cycles) {
-          const auto n = SimulateCycle(graph, loop, *reg, *init, cyc);
+          std::optional<std::uint32_t> n;
+          bool have_n = false;
+          if (!reference) {
+            const auto fast = ClosedFormCycleCount(graph, loop, *reg, *init, cyc);
+            if (fast.has_value()) {
+              n = *fast;
+              have_n = true;
+            }
+          }
+          if (!have_n) {
+            n = SimulateCycle(graph, loop, *reg, *init, cyc);
+          }
           if (!n.has_value()) {
             all_ok = false;
             break;

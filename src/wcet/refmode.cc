@@ -1,0 +1,17 @@
+#include "src/wcet/refmode.h"
+
+#include <atomic>
+
+namespace pmk {
+namespace wcet {
+
+namespace {
+std::atomic<bool> g_reference_mode{false};
+}  // namespace
+
+void SetReferenceMode(bool on) { g_reference_mode.store(on, std::memory_order_relaxed); }
+
+bool ReferenceMode() { return g_reference_mode.load(std::memory_order_relaxed); }
+
+}  // namespace wcet
+}  // namespace pmk

@@ -1,0 +1,113 @@
+// Reference-vs-optimized equivalence for the whole WCET pipeline.
+//
+// The memoized analyzer (sparse revised-simplex ILP, closed-form loop
+// bounds, shared cost caches) must be bit-identical to the unmemoized
+// reference twin (dense tableau, per-call re-derivation) on every public
+// query — Analyze, EvaluateTrace, InterruptResponseBound, PerBlockBounds —
+// across both kernel generations, all cache configurations and all four
+// entry points. Also checks memoization itself: repeated and concurrent
+// Analyze calls on one analyzer return the exact same result.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/engine/job_pool.h"
+#include "src/kernel/image.h"
+#include "src/wcet/analysis.h"
+#include "src/wcet/refmode.h"
+
+namespace pmk {
+namespace {
+
+constexpr EntryPoint kEntries[] = {EntryPoint::kSyscall, EntryPoint::kUndefined,
+                                   EntryPoint::kPageFault, EntryPoint::kInterrupt};
+
+void ExpectResultsEqual(const EntryResult& ref, const EntryResult& opt) {
+  EXPECT_EQ(ref.status, opt.status);
+  EXPECT_EQ(ref.wcet, opt.wcet);
+  EXPECT_DOUBLE_EQ(ref.micros, opt.micros);
+  EXPECT_EQ(ref.nodes, opt.nodes);
+  EXPECT_EQ(ref.edges, opt.edges);
+  EXPECT_EQ(ref.loops_bounded_auto, opt.loops_bounded_auto);
+  EXPECT_EQ(ref.loops_bounded_annot, opt.loops_bounded_annot);
+  EXPECT_EQ(ref.worst_trace.blocks, opt.worst_trace.blocks);
+}
+
+std::vector<AnalysisOptions> ConfigMatrix() {
+  std::vector<AnalysisOptions> configs(4);
+  configs[1].cache_pinning = true;
+  configs[2].l2_enabled = true;
+  configs[3].l2_enabled = true;
+  configs[3].l2_kernel_pinning = true;
+  return configs;
+}
+
+class WcetEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { wcet::SetReferenceMode(false); }
+};
+
+TEST_F(WcetEquivalenceTest, AnalyzeMatchesReferenceEverywhere) {
+  for (const bool after : {false, true}) {
+    const auto img = BuildKernelImage(after ? KernelConfig::After() : KernelConfig::Before());
+    for (const AnalysisOptions& opts : ConfigMatrix()) {
+      // The mode flag is sampled at construction: the reference analyzer
+      // re-derives everything per call, the optimized one memoizes.
+      wcet::SetReferenceMode(true);
+      const WcetAnalyzer ref(*img, opts);
+      wcet::SetReferenceMode(false);
+      const WcetAnalyzer opt(*img, opts);
+      for (const EntryPoint e : kEntries) {
+        const EntryResult r = ref.Analyze(e);
+        const EntryResult o = opt.Analyze(e);
+        SCOPED_TRACE(std::string(after ? "after/" : "before/") + EntryPointName(e));
+        ExpectResultsEqual(r, o);
+      }
+    }
+  }
+}
+
+TEST_F(WcetEquivalenceTest, DerivedQueriesMatchReference) {
+  const auto img = BuildKernelImage(KernelConfig::After());
+  AnalysisOptions opts;
+  opts.l2_enabled = true;
+  wcet::SetReferenceMode(true);
+  const WcetAnalyzer ref(*img, opts);
+  wcet::SetReferenceMode(false);
+  const WcetAnalyzer opt(*img, opts);
+
+  // Forced-path evaluation of a real worst-case trace.
+  const Trace worst = opt.Analyze(EntryPoint::kSyscall).worst_trace;
+  ASSERT_FALSE(worst.blocks.empty());
+  EXPECT_EQ(ref.EvaluateTrace(worst), opt.EvaluateTrace(worst));
+
+  EXPECT_EQ(ref.InterruptResponseBound(), opt.InterruptResponseBound());
+  EXPECT_EQ(ref.PerBlockBounds(), opt.PerBlockBounds());
+}
+
+TEST_F(WcetEquivalenceTest, MemoizedAnalyzeIsStable) {
+  const auto img = BuildKernelImage(KernelConfig::After());
+  const WcetAnalyzer an(*img, AnalysisOptions{});
+  const EntryResult first = an.Analyze(EntryPoint::kSyscall);
+  for (int i = 0; i < 3; ++i) {
+    ExpectResultsEqual(first, an.Analyze(EntryPoint::kSyscall));
+  }
+}
+
+TEST_F(WcetEquivalenceTest, ConcurrentAnalyzeIsConsistent) {
+  // One analyzer driven from parallel workers: the call_once-guarded caches
+  // must hand every thread the same memoized result, including when several
+  // threads race to populate an entry for the first time.
+  const auto img = BuildKernelImage(KernelConfig::After());
+  const WcetAnalyzer an(*img, AnalysisOptions{});
+  const auto results = engine::ParallelMap<EntryResult>(
+      8, 4, [&](std::size_t i) { return an.Analyze(kEntries[i % 4]); });
+  for (std::size_t i = 4; i < results.size(); ++i) {
+    ExpectResultsEqual(results[i - 4], results[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pmk
