@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/fault/campaign.h"
 #include "src/sim/rng.h"
 #include "src/sim/report.h"
@@ -33,6 +34,7 @@ std::vector<CaseRow> CasesFor(const KernelConfig& kc) {
 }
 
 int Main(int argc, char** argv) {
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
   std::uint64_t seed = 1;
   const std::string seed_str = FlagValue(argc, argv, "--seed=");
   if (!seed_str.empty()) {
@@ -42,11 +44,10 @@ int Main(int argc, char** argv) {
   Table table({"kernel", "operation", "preempt points", "sweep runs", "all ok", "max restarts",
                "worst irq latency"});
   SweepOptions opts;
-  const std::string jobs_str = FlagValue(argc, argv, "--jobs=");
-  if (!jobs_str.empty()) {
+  if (!FlagValue(argc, argv, "--jobs=").empty()) {
     // The canonical op factories are fork-safe, so the sweeps can run on the
     // checkpoint engine; the table is identical for any --jobs value.
-    opts.jobs = static_cast<unsigned>(std::stoul(jobs_str));
+    opts.jobs = flags.jobs;
     opts.checkpoint = true;
   }
   SplitMix64 rng(seed);
@@ -86,7 +87,7 @@ int Main(int argc, char** argv) {
     }
   }
 
-  if (HasFlag(argc, argv, "--csv")) {
+  if (flags.csv) {
     table.PrintCsv();
   } else {
     std::printf("Fault-injection ablation (exhaustive preemption-point sweep, seed=%llu)\n\n",
@@ -95,6 +96,8 @@ int Main(int argc, char** argv) {
     std::printf("\n'before' kernel: no interior preemption points -> the injected interrupt\n"
                 "waits for the whole operation. 'after': bounded restarts, small latency.\n");
   }
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
   return all_ok ? 0 : 1;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
 #include "src/wcet/analysis.h"
@@ -65,7 +66,8 @@ std::vector<ManualConstraint> OnlyReplyRecv(const KernelImage& img) {
 int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
-  const bool csv = HasFlag(argc, argv, "--csv");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool csv = flags.csv;
   const auto show = [csv](const Table& t) {
     if (csv) {
       t.PrintCsv();
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
     show(t);
     // Runtime check: pin the kernel into the modelled L2 and observe.
     System sys(KernelConfig::After(), EvalMachine(true));
+    sys.AttachTraceSink(&bench::GlobalTrace());  // representative modelled run
     const std::size_t pinned = sys.kernel().ApplyL2KernelPinning();
     auto w = sys.BuildWorstCaseIpc();
     sys.machine().PolluteCaches();
@@ -165,5 +168,7 @@ int main(int argc, char** argv) {
                   " eliminate by denying adversaries their own cspaces)\n");
     }
   }
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

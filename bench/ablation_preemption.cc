@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/sim/latency.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
@@ -112,7 +113,8 @@ Cycles AsDeleteLatency(KernelConfig kc) {
 int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
-  const bool csv = HasFlag(argc, argv, "--csv");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool csv = flags.csv;
 
   if (!csv) {
     std::printf("Ablation: observed worst interrupt response during long operations,\n");
@@ -180,6 +182,7 @@ int main(int argc, char** argv) {
   {
     // The floor set by the 1 KiB page-directory copy: retype a PD instead.
     System sys(KernelConfig::After(), EvalMachine(false));
+    sys.AttachTraceSink(&bench::GlobalTrace());  // representative modelled run
     TcbObj* t3 = sys.AddThread(10);
     const std::uint32_t ut_cptr = sys.AddUntyped(17);
     sys.kernel().DirectSetCurrent(t3);
@@ -197,5 +200,7 @@ int main(int argc, char** argv) {
                   res.irq_hist.FormatSummary(&clk).c_str());
     }
   }
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

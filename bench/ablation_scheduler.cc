@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
 #include "src/wcet/analysis.h"
@@ -43,6 +44,7 @@ Cycles LowPrioWakeCost(const KernelConfig& kc) {
   // Reschedule that must scan from priority 255 down to 1 (no bitmap) or
   // jump straight there (bitmap).
   System sys(kc, EvalMachine(false));
+  sys.AttachTraceSink(&bench::GlobalTrace());  // representative modelled run
   TcbObj* low = sys.AddThread(1);
   sys.kernel().DirectResume(low);
   TcbObj* cur = sys.AddThread(1);
@@ -59,7 +61,8 @@ Cycles LowPrioWakeCost(const KernelConfig& kc) {
 int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
-  const bool csv = HasFlag(argc, argv, "--csv");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool csv = flags.csv;
   const auto show = [csv](const Table& t) {
     if (csv) {
       t.PrintCsv();
@@ -118,5 +121,7 @@ int main(int argc, char** argv) {
     std::printf("(\"theoretically only limited by the amount of memory\"); Benno is flat\n");
     std::printf("with the same best-case IPC performance.\n");
   }
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

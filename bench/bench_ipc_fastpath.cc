@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/pmu.h"
 #include "src/sim/report.h"
@@ -198,13 +199,11 @@ void ReportObservability(bool csv, const std::string& trace_path) {
 }  // namespace pmk
 
 int main(int argc, char** argv) {
-  const bool csv = pmk::HasFlag(argc, argv, "--csv");
-  const std::string trace_path = pmk::FlagValue(argc, argv, "--trace-json=");
+  const pmk::bench::CommonFlags flags = pmk::bench::ParseCommonFlags(argc, argv);
   // Strip our flags before handing argv to google-benchmark.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--csv" || a.rfind("--trace-json=", 0) == 0) {
+    if (i > 0 && pmk::bench::IsCommonFlag(argv[i])) {
       continue;
     }
     args.push_back(argv[i]);
@@ -216,6 +215,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  pmk::ReportObservability(csv, trace_path);
+  pmk::ReportObservability(flags.csv, flags.trace_json);
+  pmk::bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

@@ -10,9 +10,17 @@
 // The speedup numbers are informational; only the self-check gates.
 //
 //   $ bench_sim_hotpath [--quick] [--json=BENCH_hotpath.json] [--csv]
+//                       [--obs-json=BENCH_obs.json]
 //
 // Writes BENCH_hotpath.json (ns per modelled cycle, runs/sec, before/after
 // seconds, speedup, self-check verdict) unless --json= overrides the path.
+//
+// A second phase measures the telemetry layer itself: the same workloads run
+// with the obs metrics registry disabled vs enabled (both on the optimised
+// hot path, interleaved the same way), their digests must stay bit-identical
+// — metrics are observers, never inputs — and the off-vs-on overhead is
+// written to BENCH_obs.json. The repo's acceptance bar is <3% overhead on
+// the best repetition of the hot-path workload.
 //
 // Timing convention: reference and optimised repetitions are interleaved
 // (ref, opt, ref, opt, ...) so ambient host load disturbs both paths alike,
@@ -30,9 +38,11 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/fault/campaign.h"
 #include "src/fault/scenario.h"
 #include "src/hw/hotpath.h"
+#include "src/obs/metrics.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
 
@@ -231,6 +241,76 @@ WorkloadResult RunWorkload(const std::string& name, std::uint32_t reps,
   return r;
 }
 
+// --- Telemetry overhead phase (BENCH_obs.json) ----------------------------
+// The same workloads, both arms on the optimised hot path, one with the obs
+// metrics registry disabled and one with it enabled. Digests must match:
+// telemetry is an observer of results already collected, never an input.
+
+struct ObsResult {
+  std::string name;
+  std::uint32_t runs = 0;
+  Measurement off;  // telemetry disabled
+  Measurement on;   // telemetry enabled
+
+  bool identical() const { return off.digest == on.digest; }
+  // Overhead of the best (least-disturbed) enabled repetition over the best
+  // disabled one.
+  double OverheadPct() const {
+    return off.best_rep_seconds > 0
+               ? (on.best_rep_seconds / off.best_rep_seconds - 1.0) * 100.0
+               : 0;
+  }
+};
+
+ObsResult RunObsWorkload(const std::string& name, std::uint32_t reps,
+                         void (*rep)(Measurement&)) {
+  ObsResult r;
+  r.name = name;
+  r.runs = reps;
+  hotpath::SetReferenceMode(false);
+  for (std::uint32_t i = 0; i < reps; ++i) {
+    obs::MetricsRegistry::SetEnabled(false);
+    auto t0 = std::chrono::steady_clock::now();
+    rep(r.off);
+    r.off.RecordRep(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    obs::MetricsRegistry::SetEnabled(true);
+    t0 = std::chrono::steady_clock::now();
+    rep(r.on);
+    r.on.RecordRep(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  }
+  std::printf("  %-24s off %.3fs  on %.3fs  overhead %+.2f%%  %s\n", name.c_str(),
+              r.off.seconds, r.on.seconds, r.OverheadPct(),
+              r.identical() ? "[outputs identical]" : "[OUTPUT MISMATCH]");
+  return r;
+}
+
+void WriteObsJson(std::ostream& os, const std::vector<ObsResult>& results) {
+  os << "{\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ObsResult& r = results[i];
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\n"
+                  "      \"name\": \"%s\",\n"
+                  "      \"runs\": %u,\n"
+                  "      \"telemetry_off_seconds\": %.6f,\n"
+                  "      \"telemetry_on_seconds\": %.6f,\n"
+                  "      \"telemetry_off_best_rep_seconds\": %.6f,\n"
+                  "      \"telemetry_on_best_rep_seconds\": %.6f,\n"
+                  "      \"overhead_pct\": %.2f,\n"
+                  "      \"identical_output\": %s\n"
+                  "    }%s\n",
+                  r.name.c_str(), r.runs, r.off.seconds, r.on.seconds,
+                  r.off.best_rep_seconds, r.on.best_rep_seconds, r.OverheadPct(),
+                  r.identical() ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]\n}\n";
+}
+
 void WriteJson(std::ostream& os, const std::vector<WorkloadResult>& results) {
   os << "{\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -267,10 +347,15 @@ void WriteJson(std::ostream& os, const std::vector<WorkloadResult>& results) {
 
 int main(int argc, char** argv) {
   using namespace pmk;
-  const bool quick = HasFlag(argc, argv, "--quick");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool quick = flags.quick;
   std::string json_path = FlagValue(argc, argv, "--json=");
   if (json_path.empty()) {
     json_path = "BENCH_hotpath.json";
+  }
+  std::string obs_json_path = FlagValue(argc, argv, "--obs-json=");
+  if (obs_json_path.empty()) {
+    obs_json_path = "BENCH_obs.json";
   }
 
   std::printf("Hot-path benchmark: reference (seed cost profile) vs optimised inner loop.\n");
@@ -293,7 +378,7 @@ int main(int argc, char** argv) {
               rps, r.identical() ? "yes" : "NO"});
   }
   std::printf("\n");
-  if (HasFlag(argc, argv, "--csv")) {
+  if (flags.csv) {
     t.PrintCsv();
   } else {
     t.Print();
@@ -303,14 +388,35 @@ int main(int argc, char** argv) {
   WriteJson(json, results);
   std::printf("\nWrote %s\n", json_path.c_str());
 
+  // Telemetry overhead: the same workloads, metrics registry off vs on.
+  std::printf("\nTelemetry overhead (obs registry off vs on, optimised hot path):\n");
+  std::vector<ObsResult> obs_results;
+  obs_results.push_back(
+      RunObsWorkload("timer-preempt-runner", quick ? 5 : 40, RepTimerPreempt));
+  obs_results.push_back(RunObsWorkload("irq-sweep-retype", quick ? 3 : 30, RepIrqSweep));
+  obs_results.push_back(
+      RunObsWorkload("campaign-mixed-seed42", quick ? 1 : 8, RepCampaign));
+  // Leave the registry in the state the --no-telemetry flag asked for.
+  obs::MetricsRegistry::SetEnabled(!flags.no_telemetry);
+
+  std::ofstream obs_json(obs_json_path);
+  WriteObsJson(obs_json, obs_results);
+  std::printf("Wrote %s\n", obs_json_path.c_str());
+
+  bench::ExportMetricsJson(flags.metrics_json);
+
   bool all_identical = true;
   for (const WorkloadResult& r : results) {
+    all_identical = all_identical && r.identical();
+  }
+  for (const ObsResult& r : obs_results) {
     all_identical = all_identical && r.identical();
   }
   if (!all_identical) {
     std::printf("SELF-CHECK FAILED: reference and optimised outputs differ.\n");
     return 1;
   }
-  std::printf("Self-check passed: all modelled outputs bit-identical across paths.\n");
+  std::printf("Self-check passed: all modelled outputs bit-identical across paths\n");
+  std::printf("and with telemetry on vs off.\n");
   return 0;
 }

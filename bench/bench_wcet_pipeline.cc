@@ -53,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/engine/checkpoint.h"
 #include "src/engine/job_pool.h"
 #include "src/sim/latency.h"
@@ -640,7 +641,8 @@ void WriteJson(std::ostream& os, const std::vector<WorkloadResult>& results) {
 
 int main(int argc, char** argv) {
   using namespace pmk;
-  const bool quick = HasFlag(argc, argv, "--quick");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool quick = flags.quick;
   std::string json_path = FlagValue(argc, argv, "--json=");
   if (json_path.empty()) {
     json_path = "BENCH_wcet.json";
@@ -667,7 +669,7 @@ int main(int argc, char** argv) {
               rps, r.identical() ? "yes" : "NO"});
   }
   std::printf("\n");
-  if (HasFlag(argc, argv, "--csv")) {
+  if (flags.csv) {
     t.PrintCsv();
   } else {
     t.Print();
@@ -693,6 +695,12 @@ int main(int argc, char** argv) {
   }
   std::printf("Jobs consistency (opt digests at --jobs 1/2/4): %s\n",
               jobs_consistent ? "identical" : "MISMATCH");
+
+  // No trace sinks are attached inside the timed repetitions (host-time
+  // event buffering would disturb the interleaved timing), so a requested
+  // --trace-json= export is a valid empty trace.
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
 
   if (!all_identical || !jobs_consistent) {
     std::printf("SELF-CHECK FAILED: reference and optimised outputs differ.\n");

@@ -8,13 +8,15 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
 
 int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
-  const bool csv = HasFlag(argc, argv, "--csv");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool csv = flags.csv;
 
   if (!csv) {
     std::printf("Figure 7: cost of capability decode vs cspace depth\n");
@@ -35,6 +37,9 @@ int main(int argc, char** argv) {
     target.type = ObjType::kEndpoint;
     target.obj = ep->base;
     const std::uint32_t cptr = sys.BuildDeepCapSpace(send, target, levels);
+    if (levels == 32) {
+      sys.AttachTraceSink(&bench::GlobalTrace());  // deepest decode is the figure's point
+    }
     sys.kernel().DirectSetCurrent(send);
 
     SyscallArgs args;
@@ -56,6 +61,8 @@ int main(int argc, char** argv) {
   }
   if (csv) {
     t.PrintCsv();
+    bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+    bench::ExportMetricsJson(flags.metrics_json);
     return 0;
   }
   t.Print();
@@ -79,5 +86,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nNote: practical systems use 1-2 level cspaces; only an adversary crafting\n"
       "its own capability space reaches this worst case (paper Section 6.1).\n");
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/engine/checkpoint.h"
 #include "src/engine/job_pool.h"
 #include "src/obs/chrome_trace.h"
@@ -96,14 +97,12 @@ PathRun RunPath(EntryPoint entry, System& sys) {
 int main(int argc, char** argv) {
   using namespace pmk;
 
-  const bool csv = HasFlag(argc, argv, "--csv");
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool csv = flags.csv;
   // --trace-json=FILE: dump a Chrome trace of the system-call path run
   // (L2 off) — the figure's most-overestimated bar — for Perfetto inspection.
-  const std::string trace_path = FlagValue(argc, argv, "--trace-json=");
-  unsigned jobs = 1;
-  if (const std::string j = FlagValue(argc, argv, "--jobs="); !j.empty()) {
-    jobs = static_cast<unsigned>(std::stoul(j));
-  }
+  const std::string trace_path = flags.trace_json;
+  const unsigned jobs = flags.jobs;
 
   if (!csv) {
     std::printf("Figure 8: %% overestimation of the hardware model on realisable paths\n");
@@ -178,6 +177,7 @@ int main(int argc, char** argv) {
   }
   if (csv) {
     t.PrintCsv();
+    bench::ExportMetricsJson(flags.metrics_json);
     return 0;
   }
   t.Print();
@@ -187,5 +187,6 @@ int main(int argc, char** argv) {
     std::printf("%-28s |%s %.0f%%\n", r.name.c_str(), Bar(r.pct, max_pct).c_str(), r.pct);
   }
   std::printf("\npaper shape: 25%%-225%% overestimation; system call worst; L2 on > L2 off\n");
+  bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

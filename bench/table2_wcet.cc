@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_util.h"
 #include "src/engine/checkpoint.h"
 #include "src/engine/job_pool.h"
 #include "src/sim/latency.h"
@@ -80,6 +81,9 @@ Cycles ObservedWorst(EntryPoint entry, const KernelConfig& kc, bool l2,
     }
     case EntryPoint::kInterrupt: {
       System base(kc, EvalMachine(l2));
+      if (!l2) {
+        base.AttachTraceSink(&bench::GlobalTrace());  // representative modelled run
+      }
       EndpointObj* ep = nullptr;
       base.AddEndpoint(&ep);
       TcbObj* handler = base.AddThread(200);
@@ -104,12 +108,9 @@ Cycles ObservedWorst(EntryPoint entry, const KernelConfig& kc, bool l2,
 int main(int argc, char** argv) {
   using namespace pmk;
   const ClockSpec clk;
-  const bool csv = HasFlag(argc, argv, "--csv");
-  unsigned jobs = 1;
-  const std::string jobs_str = FlagValue(argc, argv, "--jobs=");
-  if (!jobs_str.empty()) {
-    jobs = static_cast<unsigned>(std::stoul(jobs_str));
-  }
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+  const bool csv = flags.csv;
+  const unsigned jobs = flags.jobs;
 
   if (!csv) {
     std::printf("Table 2: WCET per kernel entry point, before vs after the paper's changes\n");
@@ -179,6 +180,8 @@ int main(int argc, char** argv) {
   }
   if (csv) {
     t.PrintCsv();
+    bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+    bench::ExportMetricsJson(flags.metrics_json);
     return 0;
   }
   t.Print();
@@ -196,5 +199,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(resp_off), clk.ToMicros(resp_off));
   std::printf("  L2 on:  %llu cycles = %.1f us  (paper: 481 us)\n",
               static_cast<unsigned long long>(resp_on), clk.ToMicros(resp_on));
+  bench::WriteTraceJson(bench::GlobalTrace(), flags.trace_json);
+  bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

@@ -10,6 +10,12 @@
 // Usage:
 //   fault_campaign [--seed=N] [--jobs=N] [--csv[=path]] [--quick]
 //                  [--demo-shrink] [--bench-parallel[=path]]
+//                  [--metrics-json=F] [--progress] [--no-telemetry]
+//
+// The human-readable report ends with the tail observatory: per-scenario
+// interrupt-response percentiles against the WCET analyzer's
+// InterruptResponseBound for the campaign's kernel. An enforced row whose
+// observed max exceeds the bound fails the run (nonzero exit).
 //
 // The report for a fixed seed is byte-identical across runs AND across
 // --jobs values: pipe --csv output to a file and diff it to audit
@@ -27,9 +33,12 @@
 #include <sstream>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/engine/parallel_bench.h"
 #include "src/fault/campaign.h"
+#include "src/obs/tail_observatory.h"
 #include "src/sim/report.h"
+#include "src/wcet/analysis.h"
 
 namespace pmk {
 namespace {
@@ -184,6 +193,7 @@ int BenchParallel(unsigned jobs, const std::string& path) {
 }
 
 int Main(int argc, char** argv) {
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
   CampaignConfig cfg;
   const std::string seed_str = FlagValue(argc, argv, "--seed=");
   if (!seed_str.empty()) {
@@ -191,7 +201,7 @@ int Main(int argc, char** argv) {
   }
   const std::string jobs_str = FlagValue(argc, argv, "--jobs=");
   if (!jobs_str.empty()) {
-    cfg.jobs = static_cast<unsigned>(std::stoul(jobs_str));
+    cfg.jobs = flags.jobs;
   }
   if (HasFlag(argc, argv, "--bench-parallel") || !FlagValue(argc, argv, "--bench-parallel=").empty()) {
     std::string path = FlagValue(argc, argv, "--bench-parallel=");
@@ -210,15 +220,27 @@ int Main(int argc, char** argv) {
     return DemoShrink();
   }
 
+  // The campaign runs the canonical operations on the "after" kernel; its
+  // observed interrupt-response tails are checked against the WCET
+  // analyzer's bound for that kernel (modelled cycles on both sides).
+  obs::TailObservatory observatory;
+  {
+    const auto img = BuildKernelImage(KernelConfig::After());
+    const WcetAnalyzer analyzer(*img, AnalysisOptions{});
+    observatory.SetBound(cfg.config_label, analyzer.InterruptResponseBound());
+  }
+  cfg.observatory = &observatory;
+
   const CampaignReport report = RunCampaign(cfg);
 
   const std::string csv_path = FlagValue(argc, argv, "--csv=");
   if (!csv_path.empty()) {
     std::ofstream f(csv_path);
     report.WriteCsv(f);
-  } else if (HasFlag(argc, argv, "--csv")) {
+  } else if (flags.csv) {
     report.WriteCsv(std::cout);
-    return report.failures() == 0 ? 0 : 1;
+    bench::ExportMetricsJson(flags.metrics_json);
+    return (report.failures() == 0 && !observatory.AnyExceedance()) ? 0 : 1;
   }
 
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_mode;  // mode -> {runs, fail}
@@ -241,7 +263,12 @@ int Main(int argc, char** argv) {
                   r.detail.c_str());
     }
   }
-  return report.failures() == 0 ? 0 : 1;
+  std::printf("\n%s", observatory.RenderTable().c_str());
+  if (observatory.AnyExceedance()) {
+    std::printf("BOUND EXCEEDED: an enforced scenario's observed max passed the WCET bound.\n");
+  }
+  bench::ExportMetricsJson(flags.metrics_json);
+  return (report.failures() == 0 && !observatory.AnyExceedance()) ? 0 : 1;
 }
 
 }  // namespace

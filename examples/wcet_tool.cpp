@@ -5,21 +5,26 @@
 // worst-case interrupt response time (paper Section 6).
 //
 // Usage: wcet_tool [before|after] [--l2] [--pin] [--functional] [--trace]
-//                  [--jobs=N]
+//                  [--jobs=N] [--metrics-json=F] [--progress] [--no-telemetry]
+//
+// --metrics-json exposes the pipeline's own counters (memo hits/misses,
+// simplex pivots and refactorisations, B&B nodes, per-stage wall time).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/engine/job_pool.h"
 #include "src/wcet/analysis.h"
 
 int main(int argc, char** argv) {
+  const pmk::bench::CommonFlags flags = pmk::bench::ParseCommonFlags(argc, argv);
   pmk::KernelConfig kc = pmk::KernelConfig::After();
   pmk::AnalysisOptions opts;
   bool dump_trace = false;
-  unsigned jobs = 1;
+  const unsigned jobs = flags.jobs;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "before") == 0) {
       kc = pmk::KernelConfig::Before();
@@ -40,12 +45,13 @@ int main(int argc, char** argv) {
       opts.irq_pending = false;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       dump_trace = true;
-    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      jobs = static_cast<unsigned>(std::stoul(argv[i] + 7));
+    } else if (pmk::bench::IsCommonFlag(argv[i])) {
+      // Already handled by ParseCommonFlags (--jobs=, --metrics-json=, ...).
     } else {
       std::fprintf(stderr,
                    "usage: %s [before|after] [--l2] [--pin] [--l2pin] [--sendrecv]"
-                   " [--timeslice] [--functional] [--trace] [--jobs=N]\n",
+                   " [--timeslice] [--functional] [--trace] [--jobs=N]"
+                   " [--metrics-json=F] [--progress] [--no-telemetry]\n",
                    argv[0]);
       return 2;
     }
@@ -94,5 +100,6 @@ int main(int argc, char** argv) {
   const pmk::Cycles response = longest + irq_wcet;
   std::printf("\nworst-case interrupt response: %llu cycles (%.1f us @ 532 MHz)\n",
               static_cast<unsigned long long>(response), pmk::ClockSpec{}.ToMicros(response));
+  pmk::bench::ExportMetricsJson(flags.metrics_json);
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include <memory>
 
+#include "src/obs/metrics.h"
 #include "src/sim/workload.h"
 
 namespace pmk::engine {
@@ -24,11 +25,20 @@ class SystemCheckpoint {
  public:
   // Freezes a deep copy of |sys|; the original remains usable and later
   // mutations to it do not affect the checkpoint.
-  explicit SystemCheckpoint(const System& sys) : frozen_(sys.Clone()) {}
+  explicit SystemCheckpoint(const System& sys) : frozen_(sys.Clone()) {
+    static obs::Counter freezes("engine.checkpoint.freezes");
+    freezes.Inc();
+  }
 
   // An independent System that replays cycle-for-cycle identically to the
   // frozen state. Thread-safe: only const reads of the frozen image.
-  std::unique_ptr<System> Fork() const { return frozen_->Clone(); }
+  std::unique_ptr<System> Fork() const {
+    static obs::Counter forks("engine.checkpoint.forks");
+    static obs::Timer fork_nanos("engine.checkpoint.fork_nanos");
+    forks.Inc();
+    const auto scope = fork_nanos.Measure();
+    return frozen_->Clone();
+  }
 
   const System& frozen() const { return *frozen_; }
 

@@ -17,6 +17,13 @@
 
 namespace pmk::engine {
 
+// Progress reporting for long fan-outs (the --progress flag family). When
+// enabled, RunJobs prints "  progress <done>/<n>" lines to stderr — stderr
+// only, so stdout goldens and CSV byte-identity are untouched. Off by
+// default.
+void SetProgress(bool on);
+bool ProgressEnabled();
+
 // Invokes fn(i) once for every i in [0, n). With jobs <= 1 (or n <= 1) the
 // calls run inline on the calling thread in index order; otherwise
 // min(jobs, n) worker threads claim indices from an atomic counter. All

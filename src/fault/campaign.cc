@@ -6,6 +6,7 @@
 
 #include "src/engine/checkpoint.h"
 #include "src/engine/job_pool.h"
+#include "src/obs/metrics.h"
 #include "src/sim/rng.h"
 #include "src/kernel/error.h"
 #include "src/sim/runner.h"
@@ -33,6 +34,7 @@ ScenarioResult FromRun(const std::string& mode, const std::string& op, const Run
   r.ok = rec.ok();
   r.restarts = rec.restarts;
   r.preempt_points = rec.preempt_points;
+  r.irq_hist = rec.irq_hist;
   r.detail = Sanitize(rec.detail);
   return r;
 }
@@ -148,6 +150,9 @@ void RunStorm(const CampaignConfig& cfg, CampaignReport& report) {
     }
     res.spurious_acks = sys.machine().irq().spurious_acks();
     res.coalesced = sys.machine().irq().coalesced_asserts();
+    for (const Cycles lat : sys.kernel().irq_latencies()) {
+      res.irq_hist.Record(lat);
+    }
     return res;
   });
   report.results.insert(report.results.end(), rows.begin(), rows.end());
@@ -401,6 +406,25 @@ std::string CampaignReport::Summary() const {
   return os.str();
 }
 
+namespace {
+
+// The observatory scenario label for one result row: per-op for the modes
+// that sweep the canonical operations, per-mode for the rest (hostile fans
+// out over dozens of input kinds; one row each would drown the report).
+std::string ObservatoryScenario(const ScenarioResult& r) {
+  if (r.mode == "exhaustive" || r.mode == "random") {
+    std::string op = r.op;
+    const std::string dry = "/dry";
+    if (op.size() > dry.size() && op.compare(op.size() - dry.size(), dry.size(), dry) == 0) {
+      op.resize(op.size() - dry.size());
+    }
+    return r.mode + "/" + op;
+  }
+  return r.mode;
+}
+
+}  // namespace
+
 CampaignReport RunCampaign(const CampaignConfig& config) {
   CampaignReport report;
   report.seed = config.seed;
@@ -418,6 +442,20 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
   }
   if (config.spurious_runs > 0) {
     RunSpurious(config, report);
+  }
+
+  // Telemetry + observatory feed: both consume the assembled report, after
+  // every deterministic byte of it is fixed.
+  for (const ScenarioResult& r : report.results) {
+    obs::Counter(obs::ObsLabeled("fault.campaign.scenarios", "mode", r.mode).c_str()).Inc();
+  }
+  if (config.observatory != nullptr) {
+    config.observatory->SetUnenforced("storm");
+    for (const ScenarioResult& r : report.results) {
+      const std::string scenario = ObservatoryScenario(r);
+      config.observatory->Touch(config.config_label, scenario);
+      config.observatory->RecordHistogram(config.config_label, scenario, r.irq_hist);
+    }
   }
   return report;
 }

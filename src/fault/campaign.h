@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/fault/scenario.h"
+#include "src/obs/tail_observatory.h"
 
 namespace pmk {
 
@@ -42,6 +43,15 @@ struct CampaignConfig {
   // order, so the report is byte-identical for any value — jobs=4 produces
   // exactly the jobs=1 CSV, just faster.
   unsigned jobs = 1;
+
+  // Optional interrupt-response tail observatory. When set, every run's IRQ
+  // latency histogram is merged under (config_label, "<mode>[/<op>]") after
+  // the report is assembled — an observer of results already collected, so
+  // attaching it cannot change a single CSV byte. Storm-mode rows are marked
+  // unenforced: their latencies include device-side masking windows the
+  // kernel WCET analysis deliberately excludes.
+  obs::TailObservatory* observatory = nullptr;
+  std::string config_label = "after";
 };
 
 struct ScenarioResult {
@@ -53,6 +63,9 @@ struct ScenarioResult {
   std::uint64_t preempt_points = 0;
   std::uint64_t spurious_acks = 0;
   std::uint64_t coalesced = 0;
+  // All assert->service latencies of the run (modelled cycles). Not part of
+  // the CSV; feeds CampaignConfig::observatory.
+  LatencyHistogram irq_hist;
   std::string detail;
 };
 

@@ -5,10 +5,29 @@
 
 #include "src/engine/job_pool.h"
 #include "src/kernel/error.h"
+#include "src/obs/metrics.h"
 
 namespace pmk {
 
 namespace {
+
+// Fault-layer telemetry (observers only: recorded after the modelled run).
+obs::Counter& RunCounter() {
+  static obs::Counter c("fault.runs.executed");
+  return c;
+}
+obs::Counter& InvariantCheckCounter() {
+  static obs::Counter c("fault.invariant.checks");
+  return c;
+}
+obs::Counter& ShrinkIterCounter() {
+  static obs::Counter c("fault.shrink.iterations");
+  return c;
+}
+obs::ValueHistogram& IrqResponseHist() {
+  static obs::ValueHistogram h("fault.irq.response_cycles");
+  return h;
+}
 
 // Root-CNode cap for CNode invocations (same idiom as the objops tests).
 std::uint32_t CNodeCptrFor(System& sys) {
@@ -142,6 +161,7 @@ RunRecord RunWithInstance(OpInstance inst, const InjectionPlan& plan,
   rec.preempt_points = inj.preempt_points_seen();
   for (const Cycles lat : sys.kernel().irq_latencies()) {
     rec.max_irq_latency = std::max(rec.max_irq_latency, lat);
+    rec.irq_hist.Record(lat);
   }
 
   if (rec.completed && inst.check_done) {
@@ -153,6 +173,9 @@ RunRecord RunWithInstance(OpInstance inst, const InjectionPlan& plan,
     }
   }
   sys.kernel().exec().set_fault_hook(nullptr);
+  RunCounter().Inc();
+  InvariantCheckCounter().Inc(rec.restarts + 1);  // one audit per kernel exit
+  IrqResponseHist().Merge(rec.irq_hist);
   return rec;
 }
 
@@ -220,6 +243,7 @@ InjectionPlan ShrinkPlan(const OpFactory& factory, const InjectionPlan& failing,
   while (shrunk && cur.actions.size() > 1) {
     shrunk = false;
     for (std::size_t i = 0; i < cur.actions.size(); ++i) {
+      ShrinkIterCounter().Inc();
       InjectionPlan candidate = cur;
       candidate.actions.erase(candidate.actions.begin() + static_cast<std::ptrdiff_t>(i));
       if (!RunWithPlan(factory, candidate, opts, sabotage).ok()) {

@@ -20,6 +20,7 @@
 
 #include "src/engine/checkpoint.h"
 #include "src/fault/injector.h"
+#include "src/obs/histogram.h"
 #include "src/sim/workload.h"
 
 namespace pmk {
@@ -90,6 +91,9 @@ struct RunRecord {
   std::uint64_t lines_asserted = 0;
   std::uint64_t preempt_points = 0;  // pp blocks seen across all restarts
   Cycles max_irq_latency = 0;        // worst assert->service latency observed
+  // Every assert->service latency of the run, for the tail observatory.
+  // Deterministic (modelled cycles), so safe to aggregate across jobs.
+  LatencyHistogram irq_hist;
   std::string detail;                // first failure message
 
   bool ok() const {

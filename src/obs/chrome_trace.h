@@ -15,6 +15,7 @@
 #define SRC_OBS_CHROME_TRACE_H_
 
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,10 +32,22 @@ class ChromeTraceWriter : public TraceSink {
   // default; switch off for long runs where only the span structure matters.
   void set_include_blocks(bool include) { include_blocks_ = include; }
 
-  void OnEvent(const TraceEvent& event) override { events_.push_back(event); }
+  // Event names are interned into writer-owned storage: producers (the kir
+  // executor) point them at block-name strings owned by the running System,
+  // and a process-wide writer (bench::GlobalTrace) outlives those Systems.
+  void OnEvent(const TraceEvent& event) override {
+    TraceEvent copy = event;
+    if (copy.name != nullptr) {
+      copy.name = names_.insert(copy.name).first->c_str();
+    }
+    events_.push_back(copy);
+  }
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    events_.clear();
+    names_.clear();
+  }
 
   // Serializes the buffered events as {"traceEvents":[...]}.
   void Write(std::ostream& os) const;
@@ -47,6 +60,7 @@ class ChromeTraceWriter : public TraceSink {
   ClockSpec clock_;
   bool include_blocks_ = true;
   std::vector<TraceEvent> events_;
+  std::set<std::string> names_;  // stable addresses backing events_[i].name
 };
 
 }  // namespace pmk

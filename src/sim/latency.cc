@@ -2,7 +2,21 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace pmk {
+
+namespace {
+
+// Modelled IRQ assert->deliver spans, process-wide. Recorded after the
+// modelled run from latencies the kernel already logged — zero modelled
+// cycles, no feedback into any measurement.
+obs::ValueHistogram& IrqResponseHist() {
+  static obs::ValueHistogram h("sim.irq.response_cycles");
+  return h;
+}
+
+}  // namespace
 
 Cycles MeasureEntry(System& sys, const std::function<void()>& enter,
                     const std::function<void()>& reset, const MeasureOptions& opts) {
@@ -40,6 +54,7 @@ Cycles MeasureIrqDelivery(System& sys, const MeasureOptions& opts) {
     if (opts.histogram != nullptr) {
       opts.histogram->Record(d);
     }
+    IrqResponseHist().Record(d);
   }
   return worst;
 }
@@ -75,6 +90,7 @@ LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
     res.max_irq_latency = std::max(res.max_irq_latency, c);
     res.irq_hist.Record(c);
   }
+  IrqResponseHist().Merge(res.irq_hist);
   return res;
 }
 

@@ -1,8 +1,41 @@
 #include "src/wcet/analysis.h"
 
+#include "src/obs/metrics.h"
 #include "src/wcet/refmode.h"
 
 namespace pmk {
+
+namespace {
+
+// Analyzer telemetry: memoization effectiveness plus per-stage wall time.
+// Pure observers — the analysis result is a function of (image, options)
+// regardless of what gets counted.
+obs::Counter& MemoHitCounter() {
+  static obs::Counter c("wcet.memo.hit");
+  return c;
+}
+obs::Counter& MemoMissCounter() {
+  static obs::Counter c("wcet.memo.miss");
+  return c;
+}
+obs::Timer& GraphTimer() {
+  static obs::Timer t("wcet.stage.graph_nanos");
+  return t;
+}
+obs::Timer& LoopBoundTimer() {
+  static obs::Timer t("wcet.stage.loopbound_nanos");
+  return t;
+}
+obs::Timer& CostTimer() {
+  static obs::Timer t("wcet.stage.cost_nanos");
+  return t;
+}
+obs::Timer& IpetTimer() {
+  static obs::Timer t("wcet.stage.ipet_nanos");
+  return t;
+}
+
+}  // namespace
 
 const char* EntryPointName(EntryPoint e) {
   switch (e) {
@@ -65,11 +98,19 @@ EntryResult WcetAnalyzer::AnalyzeUncached(EntryPoint entry) const {
   EntryResult res;
   res.entry = entry;
 
-  InlinedGraph graph(image_->prog, EntryFunc(entry));
-  res.nodes = graph.nodes().size();
-  res.edges = graph.edges().size();
+  std::unique_ptr<InlinedGraph> graph;
+  {
+    const auto scope = GraphTimer().Measure();
+    graph = std::make_unique<InlinedGraph>(image_->prog, EntryFunc(entry));
+  }
+  res.nodes = graph->nodes().size();
+  res.edges = graph->edges().size();
 
-  const std::vector<LoopBoundResult> bounds = ComputeLoopBounds(graph);
+  std::vector<LoopBoundResult> bounds;
+  {
+    const auto scope = LoopBoundTimer().Measure();
+    bounds = ComputeLoopBounds(*graph);
+  }
   for (const LoopBoundResult& b : bounds) {
     if (b.source == LoopBoundResult::Source::kComputed) {
       res.loops_bounded_auto++;
@@ -78,28 +119,41 @@ EntryResult WcetAnalyzer::AnalyzeUncached(EntryPoint entry) const {
     }
   }
 
-  const CostResult costs = memoize_ ? ComputeNodeCosts(graph, BlockCache())
-                                    : ComputeNodeCosts(graph, cost_opts_);
+  CostResult costs;
+  {
+    const auto scope = CostTimer().Measure();
+    costs = memoize_ ? ComputeNodeCosts(*graph, BlockCache())
+                     : ComputeNodeCosts(*graph, cost_opts_);
+  }
 
   IpetOptions iopts;
   iopts.irq_pending = opts_.irq_pending;
-  const IpetResult ipet = RunIpet(graph, costs, iopts, opts_.constraints);
+  const auto ipet_scope = IpetTimer().Measure();
+  const IpetResult ipet = RunIpet(*graph, costs, iopts, opts_.constraints);
   res.status = ipet.status;
   if (ipet.status == SolveStatus::kOptimal) {
     res.wcet = ipet.wcet;
     res.micros = ClockSpec{}.ToMicros(ipet.wcet);
-    res.worst_trace = ExtractWorstTrace(graph, ipet);
+    res.worst_trace = ExtractWorstTrace(*graph, ipet);
   }
   return res;
 }
 
 EntryResult WcetAnalyzer::Analyze(EntryPoint entry) const {
   if (!memoize_) {
+    MemoMissCounter().Inc();
     return AnalyzeUncached(entry);
   }
   EntryState& st = entries_[static_cast<std::size_t>(entry)];
-  std::call_once(st.once,
-                 [&] { st.result = std::make_unique<EntryResult>(AnalyzeUncached(entry)); });
+  if (st.ready.load(std::memory_order_acquire)) {
+    MemoHitCounter().Inc();
+  } else {
+    MemoMissCounter().Inc();
+  }
+  std::call_once(st.once, [&] {
+    st.result = std::make_unique<EntryResult>(AnalyzeUncached(entry));
+    st.ready.store(true, std::memory_order_release);
+  });
   return *st.result;
 }
 

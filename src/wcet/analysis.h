@@ -9,6 +9,7 @@
 #define SRC_WCET_ANALYSIS_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -81,6 +82,9 @@ class WcetAnalyzer {
   struct EntryState {
     std::once_flag once;
     std::unique_ptr<EntryResult> result;
+    // Set (release) after |result| is populated; lets the memo-hit telemetry
+    // probe the cache state without racing the call_once writer.
+    std::atomic<bool> ready{false};
   };
 
   FuncId EntryFunc(EntryPoint e) const;

@@ -7,6 +7,7 @@
 #include <limits>
 #include <utility>
 
+#include "src/obs/metrics.h"
 #include "src/wcet/refmode.h"
 
 namespace pmk {
@@ -15,6 +16,28 @@ namespace {
 
 constexpr double kEps = 1e-7;
 constexpr std::uint64_t kMaxPivots = 200'000;
+
+// Solver telemetry: totals across every LP/ILP solve in the process.
+obs::Counter& LpSolveCounter() {
+  static obs::Counter c("wcet.simplex.solves");
+  return c;
+}
+obs::Counter& PivotCounter() {
+  static obs::Counter c("wcet.simplex.pivots");
+  return c;
+}
+obs::Counter& RefactorCounter() {
+  static obs::Counter c("wcet.simplex.refactorisations");
+  return c;
+}
+obs::Counter& BbNodeCounter() {
+  static obs::Counter c("wcet.bb.nodes");
+  return c;
+}
+obs::Counter& BbWarmStartCounter() {
+  static obs::Counter c("wcet.bb.warm_starts");
+  return c;
+}
 
 // ---------------------------------------------------------------------------
 // Dense two-phase simplex over a row-major tableau.
@@ -605,6 +628,7 @@ class RevisedSimplex {
     ApplyEta(eta_r_.size() - 1, beta_);
     if (++pivots_since_factor_ >= kRefactorEvery || EtaNnz() > 2 * nnz_ + 16 * m_) {
       if (TryRefactorize()) {
+        RefactorCounter().Inc();
         pivots_since_factor_ = 0;
       } else {
         // Keep appending etas; reset the counter so we do not retry every
@@ -1154,10 +1178,15 @@ class RevisedSimplex {
 }  // namespace
 
 SolveResult SolveLp(const LinearProgram& lp) {
+  SolveResult res;
   if (wcet::ReferenceMode()) {
-    return Simplex(lp).Solve();
+    res = Simplex(lp).Solve();
+  } else {
+    res = RevisedSimplex(lp).Solve();
   }
-  return RevisedSimplex(lp).Solve();
+  LpSolveCounter().Inc();
+  PivotCounter().Inc(res.pivots);
+  return res;
 }
 
 SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
@@ -1184,6 +1213,7 @@ SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
     }
     Node node = std::move(stack.back());
     stack.pop_back();
+    BbNodeCounter().Inc();
 
     SolveResult rel;
     std::vector<BasisToken> basis_out;
@@ -1195,6 +1225,9 @@ SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
       rel = Simplex(sub).Solve();
     } else {
       RevisedSimplex rs(lp, &node.extra);
+      if (!node.warm.empty()) {
+        BbWarmStartCounter().Inc();
+      }
       rel = node.warm.empty() ? rs.Solve() : rs.SolveWarm(node.warm);
       if (rel.status == SolveStatus::kOptimal) {
         basis_out = rs.ExportBasis();
@@ -1256,6 +1289,7 @@ SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
     best.status = SolveStatus::kIterationLimit;
   }
   best.pivots = pivots_total;
+  PivotCounter().Inc(pivots_total);
   return best;
 }
 

@@ -126,6 +126,80 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroAtEveryRank) {
+  // Every percentile of an empty histogram is defined to be 0 — never a
+  // sentinel min_ (~0) leak and never a crash.
+  LatencyHistogram h;
+  for (const double p : {0.0, 0.001, 50.0, 99.99, 100.0, -5.0, 200.0}) {
+    EXPECT_EQ(h.Percentile(p), 0u) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  const auto s = h.Summarize();
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.p99, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(HistogramTest, MergeDisjointOctaves) {
+  // The two histograms occupy disjoint octaves (a: values < 2^4, dense
+  // low buckets; b: values around 2^40, sparse high buckets), so the merge
+  // must grow the bucket array and keep both tails intact.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (Cycles v = 1; v <= 10; ++v) {
+    a.Record(v);
+  }
+  const Cycles huge = (Cycles{1} << 40) + 12345;
+  b.Record(huge, 2);
+
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.count(), 12u);
+  EXPECT_EQ(merged.min(), 1u);
+  EXPECT_EQ(merged.max(), huge);
+  // p50 stays in the low octave, p99 lands in the high one.
+  EXPECT_LE(merged.Percentile(50), 10u);
+  EXPECT_GE(merged.Percentile(99), huge - huge / 16);
+
+  // The mirror merge (high absorbs low) gives the same distribution.
+  LatencyHistogram mirror = b;
+  mirror.Merge(a);
+  EXPECT_EQ(mirror.count(), merged.count());
+  EXPECT_EQ(mirror.Percentile(50), merged.Percentile(50));
+  EXPECT_EQ(mirror.Percentile(99), merged.Percentile(99));
+  EXPECT_EQ(mirror.max(), merged.max());
+
+  // Merging an empty histogram is a strict no-op in both directions.
+  LatencyHistogram empty;
+  const auto before = merged.Summarize();
+  merged.Merge(empty);
+  const auto after = merged.Summarize();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.min, before.min);
+  EXPECT_EQ(after.max, before.max);
+  empty.Merge(LatencyHistogram{});
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(HistogramTest, RecordZeroTimesIsNoOp) {
+  // Record(v, 0) must not create a phantom observation: count, min, max and
+  // mean all stay untouched, and a fresh histogram stays empty.
+  LatencyHistogram fresh;
+  fresh.Record(999, 0);
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_EQ(fresh.min(), 0u);
+  EXPECT_EQ(fresh.max(), 0u);
+
+  LatencyHistogram h;
+  h.Record(100, 3);
+  h.Record(7, 0);       // would corrupt min_ if counted
+  h.Record(1 << 20, 0);  // would corrupt max_ if counted
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+}
+
 // ------------------------------------------------------------- event traces
 
 // One charged IPC round trip with an EventLog attached.
