@@ -11,6 +11,19 @@
 //   fault_campaign [--seed=N] [--jobs=N] [--csv[=path]] [--quick]
 //                  [--demo-shrink] [--bench-parallel[=path]]
 //                  [--metrics-json=F] [--progress] [--no-telemetry]
+//                  [--shards=N] [--journal=DIR] [--resume]
+//                  [--shard-transport=fork|serial] [--shard-timeout-ms=N]
+//                  [--shard-max-attempts=N] [--poison=ORDINAL]
+//                  [--chaos-kill-shard=N] [--chaos-kill-after=N]
+//
+// Sharding: --shards=N forks N supervised worker processes (engine shard
+// supervisor: watchdog timeouts, bounded retries with backoff, quarantine of
+// poison runs). --journal=DIR persists each completed run to a crash-safe
+// journal; with --resume an existing journal is reused so a campaign killed
+// mid-flight re-executes only missing runs (without --resume the journal is
+// cleared first). The CSV on stdout is byte-identical for any --shards value
+// and across resumes; supervision stats go to stderr. The chaos/poison flags
+// are CI hooks that deliberately kill a worker or abort one run.
 //
 // The human-readable report ends with the tail observatory: per-scenario
 // interrupt-response percentiles against the WCET analyzer's
@@ -27,11 +40,14 @@
 // identical, and writes BENCH_parallel.json.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+
+#include "src/engine/journal.h"
 
 #include "bench/bench_util.h"
 #include "src/engine/parallel_bench.h"
@@ -220,6 +236,42 @@ int Main(int argc, char** argv) {
     return DemoShrink();
   }
 
+  const std::string shards_str = FlagValue(argc, argv, "--shards=");
+  if (!shards_str.empty()) {
+    cfg.shards = static_cast<std::uint32_t>(std::stoul(shards_str));
+  }
+  cfg.journal_dir = FlagValue(argc, argv, "--journal=");
+  if (!cfg.journal_dir.empty() && !HasFlag(argc, argv, "--resume")) {
+    // Fresh campaign: drop any previous journal so old results cannot be
+    // replayed. --resume keeps it and re-executes only missing runs.
+    std::error_code ec;
+    std::filesystem::remove(
+        std::filesystem::path(cfg.journal_dir) / engine::ResultJournal::kFileName, ec);
+  }
+  if (FlagValue(argc, argv, "--shard-transport=") == "serial") {
+    cfg.shard_serial_images = true;
+  }
+  const std::string timeout_str = FlagValue(argc, argv, "--shard-timeout-ms=");
+  if (!timeout_str.empty()) {
+    cfg.shard_timeout_ms = static_cast<std::uint32_t>(std::stoul(timeout_str));
+  }
+  const std::string attempts_str = FlagValue(argc, argv, "--shard-max-attempts=");
+  if (!attempts_str.empty()) {
+    cfg.shard_max_attempts = static_cast<std::uint32_t>(std::stoul(attempts_str));
+  }
+  const std::string poison_str = FlagValue(argc, argv, "--poison=");
+  if (!poison_str.empty()) {
+    cfg.poison_ordinal = std::stoll(poison_str);
+  }
+  const std::string chaos_shard_str = FlagValue(argc, argv, "--chaos-kill-shard=");
+  if (!chaos_shard_str.empty()) {
+    cfg.chaos_kill_shard = static_cast<std::int32_t>(std::stol(chaos_shard_str));
+  }
+  const std::string chaos_after_str = FlagValue(argc, argv, "--chaos-kill-after=");
+  if (!chaos_after_str.empty()) {
+    cfg.chaos_kill_after_results = static_cast<std::uint32_t>(std::stoul(chaos_after_str));
+  }
+
   // The campaign runs the canonical operations on the "after" kernel; its
   // observed interrupt-response tails are checked against the WCET
   // analyzer's bound for that kernel (modelled cycles on both sides).
@@ -232,6 +284,11 @@ int Main(int argc, char** argv) {
   cfg.observatory = &observatory;
 
   const CampaignReport report = RunCampaign(cfg);
+
+  if (cfg.shards > 0 || !cfg.journal_dir.empty()) {
+    // stderr, so stdout CSV byte-identity is untouched.
+    std::fprintf(stderr, "%s\n", report.shard.Summary().c_str());
+  }
 
   const std::string csv_path = FlagValue(argc, argv, "--csv=");
   if (!csv_path.empty()) {

@@ -35,6 +35,13 @@ obs::Timer& BatchTimer() {
   static obs::Timer t("engine.jobs.batch_nanos");
   return t;
 }
+// Per-job wall time, inline and threaded paths alike. The snapshot exporters
+// derive p50/p90/p99 from it (--metrics-json), making stragglers — one slow
+// run dominating a shard — visible without any per-run printing.
+obs::Timer& JobWallTimer() {
+  static obs::Timer t("engine.jobs.job_wall_nanos");
+  return t;
+}
 
 // Decile progress lines on stderr; |done| is the post-increment count.
 void MaybeReportProgress(std::size_t done, std::size_t n) {
@@ -64,7 +71,10 @@ void RunJobs(std::size_t n, unsigned jobs, const std::function<void(std::size_t)
     // Inline path: no threads, index order. This is the reference execution
     // the parallel path must be observably identical to.
     for (std::size_t i = 0; i < n; ++i) {
-      fn(i);
+      {
+        const auto job_scope = JobWallTimer().Measure();
+        fn(i);
+      }
       JobCounter().Inc();
       if (progress) {
         MaybeReportProgress(i + 1, n);
@@ -88,6 +98,7 @@ void RunJobs(std::size_t n, unsigned jobs, const std::function<void(std::size_t)
         return;
       }
       try {
+        const auto job_scope = JobWallTimer().Measure();
         fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu);

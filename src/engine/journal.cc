@@ -1,0 +1,178 @@
+#include "src/engine/journal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+#include "src/obs/metrics.h"
+
+namespace pmk::engine {
+
+namespace {
+
+std::vector<std::uint8_t> ReadWholeFile(const std::string& path) {
+  std::vector<std::uint8_t> data;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return data;  // absent file == empty journal
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size > 0) {
+    data.resize(static_cast<std::size_t>(size));
+    if (std::fread(data.data(), 1, data.size(), f) != data.size()) {
+      data.clear();  // unreadable == recover from scratch
+    }
+  }
+  std::fclose(f);
+  return data;
+}
+
+void AppendToFile(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    throw std::runtime_error("ResultJournal: cannot open for append: " + path);
+  }
+  const std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (n != bytes.size() || !flushed) {
+    throw std::runtime_error("ResultJournal: short write to " + path);
+  }
+}
+
+void TruncateFile(const std::string& path, std::uint64_t keep_bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep_bytes, ec);
+  // Best-effort: if truncation fails the torn tail stays on disk, and the
+  // next Open() simply re-truncates in memory. Entries already indexed are
+  // unaffected.
+}
+
+std::vector<std::uint8_t> EncodeHeader(std::uint64_t digest) {
+  WireWriter w;
+  w.U32(ResultJournal::kFormatVersion);
+  w.U64(digest);
+  std::vector<std::uint8_t> frame;
+  AppendFrame(frame, FrameType::kJournalHeader, w.bytes());
+  return frame;
+}
+
+std::vector<std::uint8_t> EncodeEntry(std::uint64_t key,
+                                      const std::vector<std::uint8_t>& payload) {
+  WireWriter w;
+  w.U64(key);
+  w.Bytes(payload.data(), payload.size());
+  std::vector<std::uint8_t> frame;
+  AppendFrame(frame, FrameType::kJournalEntry, w.bytes());
+  return frame;
+}
+
+}  // namespace
+
+std::uint64_t ResultJournal::Key(std::uint64_t context_digest, const std::string& task_key,
+                                 std::uint64_t seed) {
+  WireWriter w;
+  w.U64(context_digest);
+  w.Str(task_key);
+  w.U64(seed);
+  return Fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
+ResultJournal::ResultJournal(const std::string& dir, std::uint64_t context_digest)
+    : context_digest_(context_digest) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  path_ = (std::filesystem::path(dir) / kFileName).string();
+
+  const std::vector<std::uint8_t> data = ReadWholeFile(path_);
+
+  // Replay: header first, then entries, stopping at the first frame that is
+  // torn (DecodeFrame -> nullopt) or corrupt (WireError). Everything before
+  // the stop point is intact by CRC and is kept.
+  std::size_t off = 0;
+  bool valid_header = false;
+  if (!data.empty()) {
+    try {
+      const auto header = DecodeFrame(data.data(), data.size());
+      if (header.has_value() && header->type == FrameType::kJournalHeader) {
+        WireReader r(header->payload.data(), header->payload.size());
+        const std::uint32_t version = r.U32();
+        const std::uint64_t digest = r.U64();
+        r.ExpectEnd("journal header");
+        if (version == kFormatVersion && digest == context_digest_) {
+          valid_header = true;
+          off = header->encoded_size;
+        }
+      }
+    } catch (const WireError&) {
+      // Unreadable header (garbage file): treated as foreign below.
+    }
+    if (!valid_header) {
+      // Foreign journal (different kernel/config/format, or not a journal at
+      // all): its results are meaningless for this context. Start over.
+      invalidated_ = true;
+    }
+  }
+  if (valid_header) {
+    try {
+      while (off < data.size()) {
+        const auto frame = DecodeFrame(data.data() + off, data.size() - off);
+        if (!frame.has_value() || frame->type != FrameType::kJournalEntry) {
+          break;  // torn tail (mid-append kill) or foreign frame: truncate here
+        }
+        WireReader r(frame->payload.data(), frame->payload.size());
+        const std::uint64_t key = r.U64();
+        std::vector<std::uint8_t> payload = r.Bytes();
+        r.ExpectEnd("journal entry");
+        entries_.emplace(key, std::move(payload));
+        off += frame->encoded_size;
+      }
+    } catch (const WireError&) {
+      // Corrupt frame (bit rot, overlapping writers): keep what replayed
+      // cleanly, drop the rest.
+    }
+  }
+
+  if (invalidated_) {
+    obs::Counter("engine.journal.invalidated").Inc();
+    RewriteEmpty();
+  } else if (data.empty()) {
+    AppendToFile(path_, EncodeHeader(context_digest_));
+  } else if (off < data.size()) {
+    truncated_bytes_ = data.size() - off;
+    obs::Counter("engine.journal.truncated_bytes").Inc(truncated_bytes_);
+    TruncateFile(path_, off);
+  }
+}
+
+void ResultJournal::RewriteEmpty() {
+  std::remove(path_.c_str());
+  entries_.clear();
+  AppendToFile(path_, EncodeHeader(context_digest_));
+}
+
+std::optional<std::vector<std::uint8_t>> ResultJournal::Lookup(std::uint64_t key) {
+  static obs::Counter hits("engine.journal.hits");
+  static obs::Counter misses("engine.journal.misses");
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    misses.Inc();
+    return std::nullopt;
+  }
+  hits.Inc();
+  return it->second;
+}
+
+void ResultJournal::Append(std::uint64_t key, const std::vector<std::uint8_t>& payload) {
+  if (!entries_.emplace(key, payload).second) {
+    return;  // already journaled; deterministic re-execution, same payload
+  }
+  static obs::Counter appends("engine.journal.appends");
+  appends.Inc();
+  AppendToFile(path_, EncodeEntry(key, payload));
+}
+
+}  // namespace pmk::engine

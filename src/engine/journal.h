@@ -1,0 +1,89 @@
+// Content-addressed, append-only, crash-safe result journal.
+//
+// A ResultJournal persists one opaque result payload per campaign run so that
+// a sharded campaign killed mid-flight (worker SIGKILL, supervisor crash,
+// power loss) can resume and re-execute only the runs whose results never
+// reached disk. Results are keyed by a 64-bit content address derived from
+// (kernel image digest, task key, seed): any change to the kernel being
+// modelled, the run's plan encoding, or the campaign seed changes the key, so
+// stale results are never replayed against a different experiment.
+//
+// On-disk format (DIR/journal.pmkj): a header frame followed by entry frames,
+// each CRC-framed by src/engine/wire.h:
+//
+//   [kJournalHeader: u32 format version | u64 context digest]
+//   [kJournalEntry:  u64 key | u32 len | payload bytes]*
+//
+// Crash safety is by construction rather than by fsync discipline: entries
+// are only ever appended, and Open() scans the file frame by frame, keeping
+// every intact entry and TRUNCATING at the first torn or corrupt frame (a
+// torn tail is exactly what a mid-append kill leaves behind). A header whose
+// digest does not match the caller's context invalidates the whole file: it
+// is rewritten empty rather than resumed from.
+//
+// Telemetry: engine.journal.{hits,misses,appends,truncated_bytes,invalidated}.
+
+#ifndef SRC_ENGINE_JOURNAL_H_
+#define SRC_ENGINE_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/engine/wire.h"
+
+namespace pmk::engine {
+
+class ResultJournal {
+ public:
+  static constexpr std::uint32_t kFormatVersion = 1;
+  static constexpr const char* kFileName = "journal.pmkj";
+
+  // Content address of one run: FNV-1a64 chained over the context digest,
+  // the task key string and the seed. Pure function of its inputs.
+  static std::uint64_t Key(std::uint64_t context_digest, const std::string& task_key,
+                           std::uint64_t seed);
+
+  // Opens (creating if absent) DIR/journal.pmkj and replays every intact
+  // entry into the in-memory index. |dir| is created if missing. A torn or
+  // corrupt tail is truncated away; a version or digest mismatch rewrites
+  // the journal empty. Throws std::runtime_error only on real I/O failure
+  // (unwritable directory), never on corrupt contents.
+  ResultJournal(const std::string& dir, std::uint64_t context_digest);
+
+  // Result payload for |key|, if one was journaled.
+  std::optional<std::vector<std::uint8_t>> Lookup(std::uint64_t key);
+
+  // True if |key| is present without counting a telemetry hit/miss.
+  bool Contains(std::uint64_t key) const { return entries_.count(key) != 0; }
+
+  // Appends (key, payload) and flushes it to disk before returning: once
+  // Append returns, a crash cannot lose this result. Duplicate keys are
+  // ignored (the first result wins — re-executed runs are deterministic, so
+  // the payloads are identical anyway).
+  void Append(std::uint64_t key, const std::vector<std::uint8_t>& payload);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& path() const { return path_; }
+  std::uint64_t context_digest() const { return context_digest_; }
+
+  // Bytes dropped by torn-tail recovery during Open (0 on a clean file).
+  std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+  // True if Open() discarded a whole journal with a foreign digest/version.
+  bool invalidated() const { return invalidated_; }
+
+ private:
+  void RewriteEmpty();
+
+  std::string path_;
+  std::uint64_t context_digest_ = 0;
+  std::map<std::uint64_t, std::vector<std::uint8_t>> entries_;
+  std::uint64_t truncated_bytes_ = 0;
+  bool invalidated_ = false;
+};
+
+}  // namespace pmk::engine
+
+#endif  // SRC_ENGINE_JOURNAL_H_

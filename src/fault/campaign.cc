@@ -2,13 +2,20 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "src/engine/checkpoint.h"
 #include "src/engine/job_pool.h"
+#include "src/engine/journal.h"
+#include "src/engine/serialize.h"
+#include "src/engine/shard.h"
+#include "src/engine/wire.h"
+#include "src/kernel/error.h"
 #include "src/obs/metrics.h"
 #include "src/sim/rng.h"
-#include "src/kernel/error.h"
 #include "src/sim/runner.h"
 
 namespace pmk {
@@ -39,27 +46,224 @@ ScenarioResult FromRun(const std::string& mode, const std::string& op, const Run
   return r;
 }
 
-void RunExhaustive(const CampaignConfig& cfg, CampaignReport& report) {
-  // The canonical ops are fork-safe, so the sweep boots each scenario once
-  // and forks every run from the checkpoint, fanned out over the job pool.
+// ------------------------------------------------------------- task model
+//
+// Every CSV row is one CampaignTask: a (mode, op, plan) identity — which is
+// also its journal key — plus a closure that produces the row. Closures are
+// pure functions of their captured state, so a row computes identically
+// in-process, in a forked shard worker, on a retry after a worker death, or
+// never (journal hit). The task list order IS the historical row order.
+
+struct CampaignTask {
+  std::string mode;
+  std::string op;
+  std::string plan;
+  std::function<ScenarioResult()> run;
+
+  std::string Key() const { return mode + "|" + op + "|" + plan; }
+};
+
+// Per-operation scenario state shared by that op's task closures. The
+// checkpoint is built lazily — a fully-journaled resume never boots at all —
+// and under serial-image transport shard workers rebuild it from the
+// serialized frozen image instead of inheriting the parent's memory.
+class ScenarioBank {
+ public:
+  ScenarioBank(std::string name, OpFactory factory)
+      : name_(std::move(name)), factory_(std::move(factory)) {}
+
+  // Serializes the frozen image now (boots if needed) so workers can
+  // deserialize instead of relying on copy-on-write inheritance.
+  void EnableSerialTransport() {
+    image_ = std::make_shared<const std::vector<std::uint8_t>>(Direct().SerializeFrozen());
+  }
+
+  const ScenarioCheckpoint& Get() const {
+    if (image_ != nullptr && engine::ShardSupervisor::InWorker()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (from_image_ == nullptr) {
+        from_image_ = std::make_shared<const ScenarioCheckpoint>(factory_, *image_);
+      }
+      return *from_image_;
+    }
+    return Direct();
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  const ScenarioCheckpoint& Direct() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (direct_ == nullptr) {
+      direct_ = std::make_shared<const ScenarioCheckpoint>(factory_);
+    }
+    return *direct_;
+  }
+
+  std::string name_;
+  OpFactory factory_;
+  std::shared_ptr<const std::vector<std::uint8_t>> image_;
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const ScenarioCheckpoint> direct_;
+  mutable std::shared_ptr<const ScenarioCheckpoint> from_image_;
+};
+
+// Same, for a bare system checkpoint (the hostile mode's shared fixture).
+class SystemBank {
+ public:
+  explicit SystemBank(const System& sys)
+      : direct_(std::make_shared<const engine::SystemCheckpoint>(sys)) {}
+
+  void EnableSerialTransport() {
+    image_ = std::make_shared<const std::vector<std::uint8_t>>(direct_->Serialize());
+  }
+
+  const engine::SystemCheckpoint& Get() const {
+    if (image_ != nullptr && engine::ShardSupervisor::InWorker()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (from_image_ == nullptr) {
+        from_image_ = std::make_shared<const engine::SystemCheckpoint>(
+            engine::SystemCheckpoint::Deserialize(*image_));
+      }
+      return *from_image_;
+    }
+    return *direct_;
+  }
+
+ private:
+  std::shared_ptr<const engine::SystemCheckpoint> direct_;
+  std::shared_ptr<const std::vector<std::uint8_t>> image_;
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const engine::SystemCheckpoint> from_image_;
+};
+
+// Plan-time journal peek: lets the builders skip work whose only purpose is
+// feeding later rows (the exhaustive dry run pins the boundary count) when a
+// resumed journal already holds the row.
+class PlanPeek {
+ public:
+  PlanPeek(const CampaignConfig& cfg, std::uint64_t digest) : seed_(cfg.seed), digest_(digest) {
+    if (!cfg.journal_dir.empty()) {
+      journal_ = std::make_unique<engine::ResultJournal>(cfg.journal_dir, digest);
+    }
+  }
+
+  std::optional<ScenarioResult> Row(const std::string& mode, const std::string& op,
+                                    const std::string& plan) const {
+    if (journal_ == nullptr) {
+      return std::nullopt;
+    }
+    const auto hit =
+        journal_->Lookup(engine::ResultJournal::Key(digest_, mode + "|" + op + "|" + plan, seed_));
+    if (!hit.has_value()) {
+      return std::nullopt;
+    }
+    try {
+      return DecodeScenarioResult(*hit);
+    } catch (const engine::WireError&) {
+      return std::nullopt;  // corrupt entry: fall back to re-execution
+    }
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t digest_;
+  std::unique_ptr<engine::ResultJournal> journal_;
+};
+
+InjectionPlan BoundaryPlan(std::uint64_t k, std::uint32_t line) {
+  InjectionPlan plan;
+  InjectionAction a;
+  a.trigger = InjectionAction::Trigger::kPreemptOrdinal;
+  a.at = k;
+  a.line = line;
+  plan.actions.push_back(a);
+  return plan;
+}
+
+// ------------------------------------------------------------- builders
+//
+// Each builder appends its mode's tasks in the exact historical row order and
+// reproduces the historical RNG draw sequence (plans drawn serially at build
+// time, or per-ordinal child streams), so the assembled CSV is byte-identical
+// to the pre-sharding in-process campaign.
+
+struct BuildState {
+  std::vector<CampaignTask> tasks;
+  std::vector<std::shared_ptr<ScenarioBank>> banks;
+  std::map<std::string, std::uint64_t> pp_by_op;  // boundary counts, once known
+
+  std::shared_ptr<ScenarioBank> Bank(const std::string& name, const OpFactory& factory,
+                                     bool serial_images) {
+    for (const auto& b : banks) {
+      if (b->name() == name) {
+        return b;
+      }
+    }
+    auto bank = std::make_shared<ScenarioBank>(name, factory);
+    if (serial_images) {
+      bank->EnableSerialTransport();
+    }
+    banks.push_back(bank);
+    return bank;
+  }
+};
+
+void BuildExhaustive(const CampaignConfig& cfg, const PlanPeek& peek, BuildState& bs) {
   SweepOptions opts = cfg.sweep;
   opts.checkpoint = true;
   opts.jobs = cfg.jobs;
   for (const auto& [name, factory] : CanonicalOps()) {
-    const SweepResult sweep = ExhaustiveIrqSweep(factory, opts);
-    report.results.push_back(FromRun("exhaustive", name + "/dry", sweep.dry_run));
-    for (const RunRecord& rec : sweep.runs) {
-      report.results.push_back(FromRun("exhaustive", name, rec));
+    auto bank = bs.Bank(name, factory, cfg.shard_serial_images);
+    const std::string dry_op = name + "/dry";
+    const std::string dry_plan = InjectionPlan{}.ToString();
+
+    // The dry run pins the boundary count every other row of this op depends
+    // on, so it executes at build time — unless a resumed journal already
+    // holds it, in which case nothing boots here at all.
+    std::shared_ptr<const ScenarioResult> dry;
+    std::uint64_t pp = 0;
+    if (const auto hit = peek.Row("exhaustive", dry_op, dry_plan)) {
+      pp = hit->preempt_points;
+    } else {
+      dry = std::make_shared<const ScenarioResult>(
+          FromRun("exhaustive", dry_op, RunWithInstance(bank->Get().Fork(), InjectionPlan{}, opts)));
+      pp = dry->preempt_points;
+    }
+    bs.pp_by_op[name] = pp;
+
+    bs.tasks.push_back({"exhaustive", dry_op, dry_plan, [dry, bank, opts, dry_op] {
+                          if (dry != nullptr) {
+                            return *dry;  // computed at build time; don't redo the boot
+                          }
+                          return FromRun("exhaustive", dry_op,
+                                         RunWithInstance(bank->Get().Fork(), InjectionPlan{}, opts));
+                        }});
+    for (std::uint64_t k = 0; k < pp; ++k) {
+      InjectionPlan plan = BoundaryPlan(k, opts.line);
+      std::string plan_str = plan.ToString();
+      bs.tasks.push_back({"exhaustive", name, plan_str, [bank, plan, opts, name = name] {
+                            return FromRun("exhaustive", name,
+                                           RunWithInstance(bank->Get().Fork(), plan, opts));
+                          }});
     }
   }
 }
 
-void RunRandom(const CampaignConfig& cfg, CampaignReport& report) {
+void BuildRandom(const CampaignConfig& cfg, BuildState& bs) {
   SplitMix64 rng(cfg.seed ^ 0xA5A5'0001ull);
   for (const auto& [name, factory] : CanonicalOps()) {
-    const ScenarioCheckpoint ckpt(factory);
-    const std::uint64_t pp =
-        RunWithInstance(ckpt.Fork(), InjectionPlan{}, cfg.sweep).preempt_points;
+    auto bank = bs.Bank(name, factory, cfg.shard_serial_images);
+    // Boundary count: pinned by the exhaustive dry run when that mode ran,
+    // else measured here with an uninjected run (the historical draw).
+    std::uint64_t pp = 0;
+    const auto it = bs.pp_by_op.find(name);
+    if (it != bs.pp_by_op.end()) {
+      pp = it->second;
+    } else {
+      pp = RunWithInstance(bank->Get().Fork(), InjectionPlan{}, cfg.sweep).preempt_points;
+      bs.pp_by_op[name] = pp;
+    }
     // Plans are drawn serially before any run executes: the RNG stream is a
     // function of the seed alone, never of run results or thread timing.
     std::vector<InjectionPlan> plans(cfg.random_runs);
@@ -79,86 +283,91 @@ void RunRandom(const CampaignConfig& cfg, CampaignReport& report) {
         plan.actions.push_back(a);
       }
     }
-    const auto rows = engine::ParallelMap<ScenarioResult>(
-        plans.size(), cfg.jobs, [&](std::size_t r) {
-          return FromRun("random", name, RunWithInstance(ckpt.Fork(), plans[r], cfg.sweep));
-        });
-    report.results.insert(report.results.end(), rows.begin(), rows.end());
+    for (InjectionPlan& plan : plans) {
+      std::string plan_str = plan.ToString();
+      bs.tasks.push_back(
+          {"random", name, plan_str, [bank, plan, sweep = cfg.sweep, name = name] {
+             return FromRun("random", name, RunWithInstance(bank->Get().Fork(), plan, sweep));
+           }});
+    }
   }
 }
 
-void RunStorm(const CampaignConfig& cfg, CampaignReport& report) {
+ScenarioResult RunStormOrdinal(const SplitMix64& base, std::size_t run) {
   // Storm draws interleave with execution, so the runs cannot share one RNG
   // stream without becoming schedule-dependent. Each run owns a child stream
   // split off by its ordinal: a pure function of (seed, run), identical no
-  // matter which thread executes it or in what order.
-  const SplitMix64 base(cfg.seed ^ 0xA5A5'0002ull);
-  const auto rows = engine::ParallelMap<ScenarioResult>(
-      cfg.storm_runs, cfg.jobs, [&](std::size_t run) {
-    SplitMix64 rng = base.Split(run);
-    System sys(KernelConfig::After(), EvalMachine(false));
-    const std::uint32_t ut_cptr = sys.AddUntyped(16, nullptr);
-    // Equal priorities: Yield round-robins all three under the storm.
-    TcbObj* a = sys.AddThread(30);
-    TcbObj* b = sys.AddThread(30);
-    TcbObj* c = sys.AddThread(30);
-    sys.kernel().DirectSetCurrent(a);
+  // matter which thread — or process — executes it, or in what order.
+  SplitMix64 rng = base.Split(run);
+  System sys(KernelConfig::After(), EvalMachine(false));
+  const std::uint32_t ut_cptr = sys.AddUntyped(16, nullptr);
+  // Equal priorities: Yield round-robins all three under the storm.
+  TcbObj* a = sys.AddThread(30);
+  TcbObj* b = sys.AddThread(30);
+  TcbObj* c = sys.AddThread(30);
+  sys.kernel().DirectSetCurrent(a);
 
-    Runner runner(&sys);
-    runner.SetProgram(a, {UserStep::Compute(400), UserStep::Syscall(SysOp::kYield, 0)});
-    runner.SetProgram(b, {UserStep::Compute(700), UserStep::Syscall(SysOp::kYield, 0)});
-    // c retypes repeatedly: the first iteration exercises the preemptible
-    // clear under storm, later ones fail fast on the occupied slot.
-    SyscallArgs retype;
-    retype.label = InvLabel::kUntypedRetype;
-    retype.obj_type = ObjType::kFrame;
-    retype.obj_bits = 15;
-    retype.dest_index = 90;
-    runner.SetProgram(c, {UserStep::Compute(300), UserStep::Syscall(SysOp::kCall, ut_cptr, retype)});
+  Runner runner(&sys);
+  runner.SetProgram(a, {UserStep::Compute(400), UserStep::Syscall(SysOp::kYield, 0)});
+  runner.SetProgram(b, {UserStep::Compute(700), UserStep::Syscall(SysOp::kYield, 0)});
+  // c retypes repeatedly: the first iteration exercises the preemptible
+  // clear under storm, later ones fail fast on the occupied slot.
+  SyscallArgs retype;
+  retype.label = InvLabel::kUntypedRetype;
+  retype.obj_type = ObjType::kFrame;
+  retype.obj_bits = 15;
+  retype.dest_index = 90;
+  runner.SetProgram(c, {UserStep::Compute(300), UserStep::Syscall(SysOp::kCall, ut_cptr, retype)});
 
-    runner.SetDisturbance([&rng, &sys](Cycles now) {
-      if (rng.Below(100) < 25) {
-        // Bursty multi-line assertion.
-        const std::uint32_t first = 1 + static_cast<std::uint32_t>(rng.Below(20));
-        const std::uint32_t burst = 1 + static_cast<std::uint32_t>(rng.Below(6));
-        for (std::uint32_t i = 0; i < burst; ++i) {
-          sys.machine().irq().Assert((first + i) % InterruptController::kNumLines, now);
-        }
+  runner.SetDisturbance([&rng, &sys](Cycles now) {
+    if (rng.Below(100) < 25) {
+      // Bursty multi-line assertion.
+      const std::uint32_t first = 1 + static_cast<std::uint32_t>(rng.Below(20));
+      const std::uint32_t burst = 1 + static_cast<std::uint32_t>(rng.Below(6));
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        sys.machine().irq().Assert((first + i) % InterruptController::kNumLines, now);
       }
-      if (rng.Below(100) < 15) {
-        // Misbehaving driver: acknowledge a line it does not own — usually
-        // never-asserted, occasionally racing a real pending assertion.
-        sys.machine().irq().Acknowledge(1 + static_cast<std::uint32_t>(rng.Below(20)));
-      }
-    });
-
-    ScenarioResult res;
-    res.mode = "storm";
-    res.op = "runner";
-    res.plan = "storm#" + std::to_string(run);
-    std::uint64_t steps = 0;
-    try {
-      steps = runner.Run(150'000);
-      sys.kernel().CheckInvariants();
-      res.ok = steps > 0;
-      if (!res.ok) {
-        res.detail = "no userland progress under storm";
-      }
-    } catch (const std::exception& ex) {
-      res.ok = false;
-      res.detail = Sanitize(ex.what());
     }
-    res.spurious_acks = sys.machine().irq().spurious_acks();
-    res.coalesced = sys.machine().irq().coalesced_asserts();
-    for (const Cycles lat : sys.kernel().irq_latencies()) {
-      res.irq_hist.Record(lat);
+    if (rng.Below(100) < 15) {
+      // Misbehaving driver: acknowledge a line it does not own — usually
+      // never-asserted, occasionally racing a real pending assertion.
+      sys.machine().irq().Acknowledge(1 + static_cast<std::uint32_t>(rng.Below(20)));
     }
-    return res;
   });
-  report.results.insert(report.results.end(), rows.begin(), rows.end());
+
+  ScenarioResult res;
+  res.mode = "storm";
+  res.op = "runner";
+  res.plan = "storm#" + std::to_string(run);
+  std::uint64_t steps = 0;
+  try {
+    steps = runner.Run(150'000);
+    sys.kernel().CheckInvariants();
+    res.ok = steps > 0;
+    if (!res.ok) {
+      res.detail = "no userland progress under storm";
+    }
+  } catch (const std::exception& ex) {
+    res.ok = false;
+    res.detail = Sanitize(ex.what());
+  }
+  res.spurious_acks = sys.machine().irq().spurious_acks();
+  res.coalesced = sys.machine().irq().coalesced_asserts();
+  for (const Cycles lat : sys.kernel().irq_latencies()) {
+    res.irq_hist.Record(lat);
+  }
+  return res;
 }
 
-void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
+void BuildStorm(const CampaignConfig& cfg, BuildState& bs) {
+  const SplitMix64 base(cfg.seed ^ 0xA5A5'0002ull);
+  for (std::size_t run = 0; run < cfg.storm_runs; ++run) {
+    bs.tasks.push_back({"storm", "runner", "storm#" + std::to_string(run),
+                        [base, run] { return RunStormOrdinal(base, run); }});
+  }
+}
+
+void BuildHostile(const CampaignConfig& cfg, BuildState& bs) {
   SplitMix64 rng(cfg.seed ^ 0xA5A5'0003ull);
   System sys(KernelConfig::After(), EvalMachine(false));
   EndpointObj* ep = nullptr;
@@ -177,8 +386,11 @@ void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
   // Freeze the built system; every hostile syscall executes against its own
   // fork, so runs are independent (a malformed input that somehow mutated
   // state could never leak into the next run) and free to execute on any
-  // worker thread. The actors are re-resolved per fork by base address.
-  const engine::SystemCheckpoint ckpt(sys);
+  // worker thread or shard. The actors are re-resolved per fork by base.
+  auto bank = std::make_shared<SystemBank>(sys);
+  if (cfg.shard_serial_images) {
+    bank->EnableSerialTransport();
+  }
   const Addr actor_base = actor->base;
   const Addr deep_actor_base = deep_actor->base;
 
@@ -250,124 +462,132 @@ void RunHostile(const CampaignConfig& cfg, CampaignReport& report) {
     }
   }
 
-  const auto rows = engine::ParallelMap<ScenarioResult>(
-      cases.size(), cfg.jobs, [&](std::size_t run) {
-    const HostileCase& hc = cases[run];
-    ScenarioResult res;
-    res.mode = "hostile";
-    res.op = hc.kind;
-    res.plan = "h#" + std::to_string(run);
-    std::unique_ptr<System> fork = ckpt.Fork();
-    TcbObj* run_actor =
-        fork->kernel().objects().Get<TcbObj>(hc.deep ? deep_actor_base : actor_base);
-    fork->kernel().DirectSetCurrent(run_actor);
-    try {
-      fork->kernel().Syscall(SysOp::kCall, hc.cptr, hc.args);
-      fork->kernel().CheckInvariants();
-      res.ok = run_actor->last_error != KError::kOk;
-      if (!res.ok) {
-        res.detail = "hostile input reported success";
-      }
-    } catch (const std::exception& ex) {
-      // Any escaping exception — ExecError, KernelError or a bare assert
-      // surrogate — means the malformed input crossed the structured-error
-      // boundary: a defect by definition in this mode.
-      res.ok = false;
-      res.detail = Sanitize(ex.what());
-    }
-    return res;
-  });
-  report.results.insert(report.results.end(), rows.begin(), rows.end());
+  for (std::size_t run = 0; run < cases.size(); ++run) {
+    const HostileCase hc = cases[run];
+    bs.tasks.push_back(
+        {"hostile", hc.kind, "h#" + std::to_string(run),
+         [bank, hc, run, actor_base, deep_actor_base] {
+           ScenarioResult res;
+           res.mode = "hostile";
+           res.op = hc.kind;
+           res.plan = "h#" + std::to_string(run);
+           std::unique_ptr<System> fork = bank->Get().Fork();
+           TcbObj* run_actor =
+               fork->kernel().objects().Get<TcbObj>(hc.deep ? deep_actor_base : actor_base);
+           fork->kernel().DirectSetCurrent(run_actor);
+           try {
+             fork->kernel().Syscall(SysOp::kCall, hc.cptr, hc.args);
+             fork->kernel().CheckInvariants();
+             res.ok = run_actor->last_error != KError::kOk;
+             if (!res.ok) {
+               res.detail = "hostile input reported success";
+             }
+           } catch (const std::exception& ex) {
+             // Any escaping exception — ExecError, KernelError or a bare
+             // assert surrogate — means the malformed input crossed the
+             // structured-error boundary: a defect by definition here.
+             res.ok = false;
+             res.detail = Sanitize(ex.what());
+           }
+           return res;
+         }});
+  }
 }
 
-void RunSpurious(const CampaignConfig& cfg, CampaignReport& report) {
-  // Per-run child streams (see RunStorm): draws interleave with the shadow
-  // model, so every run gets a stream derived from its ordinal.
-  const SplitMix64 base(cfg.seed ^ 0xA5A5'0004ull);
-  const auto rows = engine::ParallelMap<ScenarioResult>(
-      cfg.spurious_runs, cfg.jobs, [&](std::size_t run) {
-    SplitMix64 rng = base.Split(run);
-    // Property test of the controller against a shadow model: interleaved
-    // asserts, spurious acks, masks. Acknowledge must return the first
-    // assertion time iff the line was pending, nullopt otherwise.
-    InterruptController ic;
-    std::array<bool, InterruptController::kNumLines> shadow_pending{};
-    std::array<Cycles, InterruptController::kNumLines> shadow_time{};
-    std::uint64_t expected_spurious = 0;
-    std::uint64_t expected_coalesced = 0;
-    ScenarioResult res;
-    res.mode = "spurious";
-    res.op = "controller";
-    res.plan = "sp#" + std::to_string(run);
-    res.ok = true;
-    Cycles now = 0;
-    for (std::uint32_t step = 0; step < 200 && res.ok; ++step) {
-      now += 1 + rng.Below(50);
-      const std::uint32_t line = static_cast<std::uint32_t>(rng.Below(InterruptController::kNumLines));
-      switch (rng.Below(3)) {
-        case 0:
-          ic.Assert(line, now);
-          if (shadow_pending[line]) {
-            ++expected_coalesced;
-          } else {
-            shadow_pending[line] = true;
-            shadow_time[line] = now;
-          }
-          break;
-        case 1: {
-          const auto got = ic.Acknowledge(line);
-          if (shadow_pending[line]) {
-            if (!got.has_value() || *got != shadow_time[line]) {
-              res.ok = false;
-              res.detail = "ack of pending line returned wrong assert time";
-            }
-            shadow_pending[line] = false;
-          } else {
-            ++expected_spurious;
-            if (got.has_value()) {
-              res.ok = false;
-              res.detail = "spurious ack returned a value";
-            }
-          }
-          break;
+ScenarioResult RunSpuriousOrdinal(const SplitMix64& base, std::size_t run) {
+  // Per-run child streams (see the storm mode): draws interleave with the
+  // shadow model, so every run gets a stream derived from its ordinal.
+  SplitMix64 rng = base.Split(run);
+  // Property test of the controller against a shadow model: interleaved
+  // asserts, spurious acks, masks. Acknowledge must return the first
+  // assertion time iff the line was pending, nullopt otherwise.
+  InterruptController ic;
+  std::array<bool, InterruptController::kNumLines> shadow_pending{};
+  std::array<Cycles, InterruptController::kNumLines> shadow_time{};
+  std::uint64_t expected_spurious = 0;
+  std::uint64_t expected_coalesced = 0;
+  ScenarioResult res;
+  res.mode = "spurious";
+  res.op = "controller";
+  res.plan = "sp#" + std::to_string(run);
+  res.ok = true;
+  Cycles now = 0;
+  for (std::uint32_t step = 0; step < 200 && res.ok; ++step) {
+    now += 1 + rng.Below(50);
+    const std::uint32_t line =
+        static_cast<std::uint32_t>(rng.Below(InterruptController::kNumLines));
+    switch (rng.Below(3)) {
+      case 0:
+        ic.Assert(line, now);
+        if (shadow_pending[line]) {
+          ++expected_coalesced;
+        } else {
+          shadow_pending[line] = true;
+          shadow_time[line] = now;
         }
-        default:
-          if (ic.IsPending(line) != shadow_pending[line]) {
+        break;
+      case 1: {
+        const auto got = ic.Acknowledge(line);
+        if (shadow_pending[line]) {
+          if (!got.has_value() || *got != shadow_time[line]) {
             res.ok = false;
-            res.detail = "pending state diverged from model";
+            res.detail = "ack of pending line returned wrong assert time";
           }
-          break;
+          shadow_pending[line] = false;
+        } else {
+          ++expected_spurious;
+          if (got.has_value()) {
+            res.ok = false;
+            res.detail = "spurious ack returned a value";
+          }
+        }
+        break;
       }
+      default:
+        if (ic.IsPending(line) != shadow_pending[line]) {
+          res.ok = false;
+          res.detail = "pending state diverged from model";
+        }
+        break;
     }
-    if (res.ok && (ic.spurious_acks() != expected_spurious ||
-                   ic.coalesced_asserts() != expected_coalesced)) {
-      res.ok = false;
-      res.detail = "spurious/coalesce counters diverged from model";
-    }
-    res.spurious_acks = ic.spurious_acks();
-    res.coalesced = ic.coalesced_asserts();
-    return res;
-  });
-  report.results.insert(report.results.end(), rows.begin(), rows.end());
+  }
+  if (res.ok && (ic.spurious_acks() != expected_spurious ||
+                 ic.coalesced_asserts() != expected_coalesced)) {
+    res.ok = false;
+    res.detail = "spurious/coalesce counters diverged from model";
+  }
+  res.spurious_acks = ic.spurious_acks();
+  res.coalesced = ic.coalesced_asserts();
+  return res;
+}
+
+void BuildSpurious(const CampaignConfig& cfg, BuildState& bs) {
+  const SplitMix64 base(cfg.seed ^ 0xA5A5'0004ull);
+  for (std::size_t run = 0; run < cfg.spurious_runs; ++run) {
+    bs.tasks.push_back({"spurious", "controller", "sp#" + std::to_string(run),
+                        [base, run] { return RunSpuriousOrdinal(base, run); }});
+  }
 
   // One kernel-level spurious entry: an IRQ kernel entry with nothing
   // pending must take the h.spurious path and leave the kernel consistent.
-  ScenarioResult res;
-  res.mode = "spurious";
-  res.op = "kernel-entry";
-  res.plan = "sp#kernel";
-  try {
-    System sys(KernelConfig::After(), EvalMachine(false));
-    TcbObj* t = sys.AddThread(10);
-    sys.kernel().DirectSetCurrent(t);
-    sys.kernel().HandleIrqEntry();
-    sys.kernel().CheckInvariants();
-    res.ok = true;
-  } catch (const std::exception& ex) {
-    res.ok = false;
-    res.detail = Sanitize(ex.what());
-  }
-  report.results.push_back(res);
+  bs.tasks.push_back({"spurious", "kernel-entry", "sp#kernel", [] {
+                        ScenarioResult res;
+                        res.mode = "spurious";
+                        res.op = "kernel-entry";
+                        res.plan = "sp#kernel";
+                        try {
+                          System sys(KernelConfig::After(), EvalMachine(false));
+                          TcbObj* t = sys.AddThread(10);
+                          sys.kernel().DirectSetCurrent(t);
+                          sys.kernel().HandleIrqEntry();
+                          sys.kernel().CheckInvariants();
+                          res.ok = true;
+                        } catch (const std::exception& ex) {
+                          res.ok = false;
+                          res.detail = Sanitize(ex.what());
+                        }
+                        return res;
+                      }});
 }
 
 }  // namespace
@@ -406,6 +626,65 @@ std::string CampaignReport::Summary() const {
   return os.str();
 }
 
+std::string CampaignShardStats::Summary() const {
+  std::ostringstream os;
+  os << "shard supervisor: tasks=" << tasks << " journal_hits=" << journal_hits
+     << " retries=" << retries << " timeouts=" << timeouts << " worker_deaths=" << worker_deaths
+     << " workers=" << workers_spawned << " quarantined=" << quarantined << " failed=" << failed;
+  if (used_fallback) {
+    os << " fallback";
+  }
+  if (resumed) {
+    os << " resumed";
+  }
+  return os.str();
+}
+
+std::vector<std::uint8_t> EncodeScenarioResult(const ScenarioResult& r) {
+  engine::WireWriter w;
+  w.Str(r.mode);
+  w.Str(r.op);
+  w.Str(r.plan);
+  w.Bool(r.ok);
+  w.U32(r.restarts);
+  w.U64(r.preempt_points);
+  w.U64(r.spurious_acks);
+  w.U64(r.coalesced);
+  engine::StateSerializer::WriteHistogram(w, r.irq_hist);
+  w.Str(r.detail);
+  return w.Take();
+}
+
+ScenarioResult DecodeScenarioResult(const std::vector<std::uint8_t>& bytes) {
+  engine::WireReader rd(bytes.data(), bytes.size());
+  ScenarioResult r;
+  r.mode = rd.Str();
+  r.op = rd.Str();
+  r.plan = rd.Str();
+  r.ok = rd.Bool();
+  r.restarts = rd.U32();
+  r.preempt_points = rd.U64();
+  r.spurious_acks = rd.U64();
+  r.coalesced = rd.U64();
+  r.irq_hist = engine::StateSerializer::ReadHistogram(rd);
+  r.detail = rd.Str();
+  rd.ExpectEnd("scenario result");
+  return r;
+}
+
+std::uint64_t CampaignContextDigest(const CampaignConfig& config) {
+  engine::WireWriter w;
+  w.U64(engine::StateSerializer::KernelImageDigest(KernelConfig::After()));
+  w.Bool(config.exhaustive);
+  w.U32(config.random_runs);
+  w.U32(config.storm_runs);
+  w.U32(config.hostile_runs);
+  w.U32(config.spurious_runs);
+  w.U32(config.sweep.line);
+  w.U32(config.sweep.restart_slack);
+  return engine::Fnv1a64(w.bytes().data(), w.bytes().size());
+}
+
 namespace {
 
 // The observatory scenario label for one result row: per-op for the modes
@@ -428,21 +707,104 @@ std::string ObservatoryScenario(const ScenarioResult& r) {
 CampaignReport RunCampaign(const CampaignConfig& config) {
   CampaignReport report;
   report.seed = config.seed;
-  if (config.exhaustive) {
-    RunExhaustive(config, report);
+  const std::uint64_t digest = CampaignContextDigest(config);
+
+  // Build the complete run list — row order and RNG draws exactly match the
+  // historical in-process campaign. Banks outlive the build via the
+  // shared_ptr copies inside task closures.
+  BuildState bs;
+  {
+    const PlanPeek peek(config, digest);
+    if (config.exhaustive) {
+      BuildExhaustive(config, peek, bs);
+    }
+    if (config.random_runs > 0) {
+      BuildRandom(config, bs);
+    }
+    if (config.storm_runs > 0) {
+      BuildStorm(config, bs);
+    }
+    if (config.hostile_runs > 0) {
+      BuildHostile(config, bs);
+    }
+    if (config.spurious_runs > 0) {
+      BuildSpurious(config, bs);
+    }
   }
-  if (config.random_runs > 0) {
-    RunRandom(config, report);
+  std::vector<CampaignTask>& tasks = bs.tasks;
+
+  // Poison hook: one designated run aborts when executing inside a shard
+  // worker — the supervisor must quarantine exactly that row.
+  if (config.poison_ordinal >= 0 &&
+      static_cast<std::size_t>(config.poison_ordinal) < tasks.size()) {
+    const auto inner = tasks[static_cast<std::size_t>(config.poison_ordinal)].run;
+    tasks[static_cast<std::size_t>(config.poison_ordinal)].run = [inner] {
+      if (engine::ShardSupervisor::InWorker()) {
+        std::abort();
+      }
+      return inner();
+    };
   }
-  if (config.storm_runs > 0) {
-    RunStorm(config, report);
+
+  engine::ShardOptions sopts;
+  sopts.shards = config.shards;
+  sopts.jobs_per_shard = config.jobs;
+  sopts.task_timeout_ms = config.shard_timeout_ms;
+  sopts.max_attempts = config.shard_max_attempts;
+  sopts.backoff_base_ms = config.shard_backoff_ms;
+  sopts.journal_dir = config.journal_dir;
+  sopts.journal_digest = digest;
+  sopts.seed = config.seed;
+  sopts.chaos_kill_shard = config.chaos_kill_shard;
+  sopts.chaos_kill_after_results = config.chaos_kill_after_results;
+
+  std::vector<engine::ShardTask> stasks;
+  stasks.reserve(tasks.size());
+  for (const CampaignTask& t : tasks) {
+    stasks.push_back({t.Key(), [run = t.run] { return EncodeScenarioResult(run()); }});
   }
-  if (config.hostile_runs > 0) {
-    RunHostile(config, report);
+  const engine::ShardOutcome out = engine::ShardSupervisor(std::move(stasks), sopts).Run();
+
+  report.results.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (out.completed[i]) {
+      try {
+        report.results.push_back(DecodeScenarioResult(out.payloads[i]));
+        continue;
+      } catch (const std::exception& ex) {
+        ScenarioResult r;
+        r.mode = tasks[i].mode;
+        r.op = tasks[i].op;
+        r.plan = tasks[i].plan;
+        r.ok = false;
+        r.detail = Sanitize(std::string("result decode failed: ") + ex.what());
+        report.results.push_back(r);
+        continue;
+      }
+    }
+    // Quarantined-and-failed: the run kept killing workers (or aborted in
+    // isolation). It is reported — visibly failed — without sinking any
+    // other row.
+    ScenarioResult r;
+    r.mode = tasks[i].mode;
+    r.op = tasks[i].op;
+    r.plan = tasks[i].plan;
+    r.ok = false;
+    r.detail = "quarantined: run failed its isolated attempt";
+    report.results.push_back(r);
   }
-  if (config.spurious_runs > 0) {
-    RunSpurious(config, report);
-  }
+
+  report.shard.sharded = config.shards > 0;
+  report.shard.tasks = tasks.size();
+  report.shard.journal_hits = out.journal_hits;
+  report.shard.retries = out.retries;
+  report.shard.timeouts = out.timeouts;
+  report.shard.worker_deaths = out.worker_deaths;
+  report.shard.workers_spawned = out.workers_spawned;
+  report.shard.quarantined = out.quarantined.size();
+  report.shard.failed = out.failed.size();
+  report.shard.used_fallback = out.used_fallback;
+  report.shard.resumed = out.resumed;
 
   // Telemetry + observatory feed: both consume the assembled report, after
   // every deterministic byte of it is fixed.

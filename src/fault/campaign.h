@@ -44,6 +44,40 @@ struct CampaignConfig {
   // exactly the jobs=1 CSV, just faster.
   unsigned jobs = 1;
 
+  // ---- fault-tolerant sharding (engine::ShardSupervisor) ----
+  //
+  // shards=0 keeps the historical in-process path (the byte-identical
+  // reference); shards>=1 forks that many supervised worker processes, each
+  // executing its deterministic slice of the run list and streaming framed
+  // results back. Either way the CSV is byte-identical for a given seed —
+  // supervision, retries and resume are invisible in the report body.
+  std::uint32_t shards = 0;
+
+  // Crash-safe result journal directory; empty disables. Completed runs are
+  // persisted as they land, keyed by (kernel image digest, run key, seed):
+  // re-running after a crash re-executes only missing runs, and a journal
+  // from a different kernel/config/seed is invalidated on open.
+  std::string journal_dir;
+
+  // Supervision knobs (see engine::ShardOptions).
+  std::uint32_t shard_timeout_ms = 120'000;
+  std::uint32_t shard_max_attempts = 2;
+  std::uint32_t shard_backoff_ms = 50;
+
+  // Ship scenario state to workers as serialized SystemCheckpoint images
+  // (engine::StateSerializer) instead of relying on fork()'s copy-on-write
+  // memory: each worker deserializes the frozen system before forking runs
+  // off it. Slower; exercises the full wire path end-to-end.
+  bool shard_serial_images = false;
+
+  // Chaos/test hooks. poison_ordinal: that run ordinal calls abort() when
+  // executing inside a shard worker (never in-process) — the supervisor must
+  // quarantine it and complete every other run. chaos_kill_*: forwarded to
+  // engine::ShardOptions (SIGKILL a worker mid-campaign).
+  std::int64_t poison_ordinal = -1;
+  std::int32_t chaos_kill_shard = -1;
+  std::uint32_t chaos_kill_after_results = 0;
+
   // Optional interrupt-response tail observatory. When set, every run's IRQ
   // latency histogram is merged under (config_label, "<mode>[/<op>]") after
   // the report is assembled — an observer of results already collected, so
@@ -69,15 +103,45 @@ struct ScenarioResult {
   std::string detail;
 };
 
+// Supervision outcome of a sharded campaign (all zero on the historical
+// in-process path without a journal). Not part of the CSV.
+struct CampaignShardStats {
+  bool sharded = false;
+  std::uint64_t tasks = 0;
+  std::uint64_t journal_hits = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t failed = 0;
+  bool used_fallback = false;
+  bool resumed = false;
+
+  std::string Summary() const;
+};
+
 struct CampaignReport {
   std::uint64_t seed = 0;
   std::vector<ScenarioResult> results;
+  CampaignShardStats shard;
 
   std::uint64_t failures() const;
   // Stable CSV: header + one row per scenario, in execution order.
   void WriteCsv(std::ostream& os) const;
   std::string Summary() const;
 };
+
+// Wire codec for one result row: the payload format of the shard result pipe
+// and the on-disk journal. Round-trips every field, histogram included;
+// corrupt bytes throw engine::WireError.
+std::vector<std::uint8_t> EncodeScenarioResult(const ScenarioResult& r);
+ScenarioResult DecodeScenarioResult(const std::vector<std::uint8_t>& bytes);
+
+// Stable identity of a campaign for journal addressing: the kernel image
+// digest plus every config knob that changes row content. Seeds are part of
+// the per-entry key, not the digest.
+std::uint64_t CampaignContextDigest(const CampaignConfig& config);
 
 // The three canonical long-running operations by name, in report order.
 std::vector<std::pair<std::string, OpFactory>> CanonicalOps();

@@ -24,6 +24,10 @@
 
 namespace pmk {
 
+namespace engine {
+class StateSerializer;  // full-state (de)serialization, src/engine/serialize.h
+}
+
 using Addr = std::uint64_t;
 
 enum class ReplacementPolicy {
@@ -133,6 +137,8 @@ class Cache {
   Addr TagOf(Addr addr) const { return addr >> tag_shift_; }
 
  private:
+  friend class engine::StateSerializer;
+
   // Way-count-specialised lookup body; |kWays| == 0 means runtime ways_.
   template <std::uint32_t kWays>
   bool AccessLineImpl(std::uint32_t set, Addr tag) {

@@ -17,6 +17,10 @@
 
 namespace pmk {
 
+namespace engine {
+class StateSerializer;  // full-state (de)serialization, src/engine/serialize.h
+}
+
 class TraceSink;
 
 class InterruptController {
@@ -64,6 +68,8 @@ class InterruptController {
   TraceSink* trace_sink() const { return sink_; }
 
  private:
+  friend class engine::StateSerializer;
+
   // Pending and mask state as 32-bit registers (bit i = line i), mirroring
   // the AVIC's INTSRCH/INTMSKH register layout; AnyPending()/PendingLine()
   // reduce to one mask-and-test / count-trailing-zeros.
@@ -129,6 +135,8 @@ class IntervalTimer {
   bool reference_tick_mode() const { return always_due_; }
 
  private:
+  friend class engine::StateSerializer;
+
   void RecomputeDeadline() {
     deadline_ = always_due_ ? 0 : (period_ == 0 ? kNever : next_fire_);
   }

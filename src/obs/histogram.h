@@ -18,6 +18,10 @@
 
 namespace pmk {
 
+namespace engine {
+class StateSerializer;  // full-state (de)serialization, src/engine/serialize.h
+}
+
 class LatencyHistogram {
  public:
   static constexpr std::uint32_t kSubBucketBits = 4;  // 16 sub-buckets/octave
@@ -62,6 +66,8 @@ class LatencyHistogram {
   static Cycles BucketUpperBound(std::size_t index);
 
  private:
+  friend class engine::StateSerializer;
+
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   Cycles min_ = ~Cycles{0};

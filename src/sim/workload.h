@@ -20,6 +20,10 @@ namespace pmk {
 
 class TraceSink;
 
+namespace engine {
+class StateSerializer;  // full-state (de)serialization, src/engine/serialize.h
+}
+
 class System {
  public:
   System(const KernelConfig& kernel_config, const MachineConfig& machine_config);
@@ -89,7 +93,9 @@ class System {
   MachineConfig machine_config;
 
  private:
-  System() = default;  // Clone() assembles the members itself
+  friend class engine::StateSerializer;
+
+  System() = default;  // Clone() and DeserializeSystem() assemble the members
 
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Kernel> kernel_;

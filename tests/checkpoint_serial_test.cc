@@ -1,0 +1,306 @@
+// Checkpoint serialization fidelity and robustness.
+//
+// Fidelity: a System rebuilt from SystemCheckpoint::Serialize bytes must be
+// indistinguishable from an in-process Clone() fork — same cycles, PMU
+// counters, cache statistics and IRQ latencies when driven through the
+// canonical fault-campaign operations — and the encoding must be canonical
+// (serialize . deserialize . serialize is the identity on bytes).
+//
+// Robustness: the decoder is exposed to journal files and shard pipes, so a
+// corrupt image must throw a structured engine::WireError, never crash.
+// Every single-bit flip over the framed image and every truncated prefix is
+// required to be detected (the frame CRC covers the payload; the header
+// fields are individually validated).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "src/engine/checkpoint.h"
+#include "src/engine/serialize.h"
+#include "src/engine/wire.h"
+#include "src/fault/campaign.h"
+#include "src/fault/injector.h"
+#include "src/fault/scenario.h"
+#include "src/sim/workload.h"
+
+namespace pmk {
+namespace {
+
+using engine::StateSerializer;
+using engine::SystemCheckpoint;
+using engine::WireError;
+using engine::WireFault;
+
+InjectionPlan PlanAtOrdinal(std::uint64_t ordinal, std::uint32_t line = 5) {
+  InjectionPlan plan;
+  InjectionAction a;
+  a.trigger = InjectionAction::Trigger::kPreemptOrdinal;
+  a.at = ordinal;
+  a.line = line;
+  plan.actions.push_back(a);
+  return plan;
+}
+
+// Observable outcome of driving an operation to completion.
+struct DriveResult {
+  Cycles now = 0;
+  HwCounters hw;
+  CacheStats l1i;
+  CacheStats l1d;
+  CacheStats l2;
+  std::vector<Cycles> irq_latencies;
+  std::uint64_t fastpath_hits = 0;
+};
+
+DriveResult Drive(OpInstance inst, const InjectionPlan& plan) {
+  System& sys = *inst.sys;
+  FaultInjector inj(&sys.machine());
+  inj.SetPlan(plan);
+  sys.kernel().exec().set_fault_hook(&inj);
+  for (;;) {
+    const KernelExit e = sys.kernel().Syscall(inst.op, inst.cptr, inst.args);
+    sys.kernel().CheckInvariants();
+    if (e != KernelExit::kPreempted) {
+      break;
+    }
+    for (const InjectionAction& a : plan.actions) {
+      for (std::uint32_t i = 0; i < a.burst; ++i) {
+        sys.machine().irq().Unmask((a.line + i) % InterruptController::kNumLines);
+      }
+    }
+    if (inst.on_preempted) {
+      inst.on_preempted(sys);
+    }
+  }
+  while (sys.machine().irq().AnyPending()) {
+    sys.kernel().HandleIrqEntry();
+  }
+  sys.kernel().CheckInvariants();
+  if (inst.check_done) {
+    inst.check_done(sys);
+  }
+
+  DriveResult r;
+  r.now = sys.machine().Now();
+  r.hw = sys.machine().counters();
+  r.l1i = sys.machine().l1i().stats();
+  r.l1d = sys.machine().l1d().stats();
+  r.l2 = sys.machine().l2().stats();
+  r.irq_latencies = sys.kernel().irq_latencies();
+  r.fastpath_hits = sys.kernel().fastpath_hits();
+  return r;
+}
+
+void ExpectIdentical(const DriveResult& a, const DriveResult& b) {
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.hw.instructions, b.hw.instructions);
+  EXPECT_EQ(a.hw.l1i_misses, b.hw.l1i_misses);
+  EXPECT_EQ(a.hw.l1d_misses, b.hw.l1d_misses);
+  EXPECT_EQ(a.hw.l2_misses, b.hw.l2_misses);
+  EXPECT_EQ(a.hw.branches, b.hw.branches);
+  EXPECT_EQ(a.hw.branch_mispredicts, b.hw.branch_mispredicts);
+  EXPECT_EQ(a.hw.mem_stall_cycles, b.hw.mem_stall_cycles);
+  EXPECT_EQ(a.l1i.accesses, b.l1i.accesses);
+  EXPECT_EQ(a.l1d.accesses, b.l1d.accesses);
+  EXPECT_EQ(a.l2.accesses, b.l2.accesses);
+  EXPECT_EQ(a.irq_latencies, b.irq_latencies);
+  EXPECT_EQ(a.fastpath_hits, b.fastpath_hits);
+}
+
+TEST(CheckpointSerialTest, RoundTripIsCanonicalOnCanonicalOps) {
+  for (const auto& [name, factory] : CanonicalOps()) {
+    SCOPED_TRACE(name);
+    OpInstance inst = factory();
+    const std::vector<std::uint8_t> first = StateSerializer::SerializeSystem(*inst.sys);
+    const std::unique_ptr<System> rebuilt = StateSerializer::DeserializeSystem(first);
+    EXPECT_EQ(StateSerializer::SerializeSystem(*rebuilt), first);
+  }
+}
+
+TEST(CheckpointSerialTest, DeserializedSystemDrivesIdentically) {
+  for (const auto& [name, factory] : CanonicalOps()) {
+    SCOPED_TRACE(name);
+    const InjectionPlan plan = PlanAtOrdinal(2);
+
+    OpInstance fresh = factory();
+    OpInstance rebuilt = factory();
+    rebuilt.sys = StateSerializer::DeserializeSystem(
+        StateSerializer::SerializeSystem(*rebuilt.sys));
+    ExpectIdentical(Drive(std::move(fresh), plan), Drive(std::move(rebuilt), plan));
+  }
+}
+
+TEST(CheckpointSerialTest, RoundTripMidScenarioAfterPreemptedExit) {
+  // Serialize in the thick of a scenario: actor in kRestart, a serviced IRQ
+  // latency on record, warm caches, masked lines — the state a shard worker
+  // would actually ship.
+  for (const auto& [name, factory] : CanonicalOps()) {
+    SCOPED_TRACE(name);
+    OpInstance inst = factory();
+    System& sys = *inst.sys;
+    FaultInjector inj(&sys.machine());
+    inj.SetPlan(PlanAtOrdinal(0));
+    sys.kernel().exec().set_fault_hook(&inj);
+    const KernelExit e = sys.kernel().Syscall(inst.op, inst.cptr, inst.args);
+    sys.kernel().exec().set_fault_hook(nullptr);
+    ASSERT_EQ(e, KernelExit::kPreempted) << "op exposed no preemption point";
+    if (inst.on_preempted) {
+      inst.on_preempted(sys);
+    }
+
+    const std::vector<std::uint8_t> bytes = StateSerializer::SerializeSystem(sys);
+    const std::unique_ptr<System> rebuilt = StateSerializer::DeserializeSystem(bytes);
+    EXPECT_EQ(StateSerializer::SerializeSystem(*rebuilt), bytes);
+
+    const auto finish = [&inst](System& s) {
+      while (s.kernel().Syscall(inst.op, inst.cptr, inst.args) == KernelExit::kPreempted) {
+      }
+      while (s.machine().irq().AnyPending()) {
+        s.kernel().HandleIrqEntry();
+      }
+      s.kernel().CheckInvariants();
+      DriveResult r;
+      r.now = s.machine().Now();
+      r.hw = s.machine().counters();
+      r.irq_latencies = s.kernel().irq_latencies();
+      r.fastpath_hits = s.kernel().fastpath_hits();
+      return r;
+    };
+    ExpectIdentical(finish(sys), finish(*rebuilt));
+  }
+}
+
+TEST(CheckpointSerialTest, CheckpointFramedRoundTrip) {
+  OpInstance inst = MakeEpDeleteCase()();
+  const SystemCheckpoint ckpt(*inst.sys);
+  const std::vector<std::uint8_t> image = ckpt.Serialize();
+  const SystemCheckpoint rebuilt = SystemCheckpoint::Deserialize(image);
+  EXPECT_EQ(rebuilt.Serialize(), image);
+
+  // Forks of the deserialized checkpoint are real, runnable systems.
+  const std::unique_ptr<System> fork = rebuilt.Fork();
+  fork->kernel().CheckInvariants();
+  EXPECT_EQ(fork->machine().Now(), inst.sys->machine().Now());
+}
+
+TEST(CheckpointSerialTest, EveryBitFlipThrowsWireError) {
+  // The framed image is CRC-protected end to end: any single flipped bit must
+  // surface as a structured WireError (bad magic, bad length, bad type or bad
+  // checksum), never as a crash, hang or silently-different System. Flipping
+  // every bit of a full image is quadratic in its size, so stride across the
+  // payload but cover the header densely.
+  OpInstance inst = MakeRetypeCase()();
+  const SystemCheckpoint ckpt(*inst.sys);
+  const std::vector<std::uint8_t> image = ckpt.Serialize();
+  ASSERT_GT(image.size(), engine::kFrameHeaderBytes);
+
+  std::vector<std::size_t> positions;
+  for (std::size_t i = 0; i < engine::kFrameHeaderBytes; ++i) {
+    positions.push_back(i);  // header: every byte
+  }
+  for (std::size_t i = engine::kFrameHeaderBytes; i < image.size(); i += 97) {
+    positions.push_back(i);  // payload: strided sample, CRC catches them all
+  }
+  positions.push_back(image.size() - 1);
+
+  for (const std::size_t pos : positions) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> corrupt = image;
+      corrupt[pos] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW(SystemCheckpoint::Deserialize(corrupt), WireError)
+          << "byte " << pos << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+TEST(CheckpointSerialTest, EveryTruncationThrowsWireError) {
+  OpInstance inst = MakeBadgedAbortCase()();
+  const SystemCheckpoint ckpt(*inst.sys);
+  const std::vector<std::uint8_t> image = ckpt.Serialize();
+
+  // Sampled prefix lengths, plus the boundary cases around the header.
+  std::vector<std::size_t> lengths = {0, 1, 4, 5, engine::kFrameHeaderBytes - 1,
+                                      engine::kFrameHeaderBytes, image.size() - 1};
+  for (std::size_t len = 0; len < image.size(); len += 131) {
+    lengths.push_back(len);
+  }
+  for (const std::size_t len : lengths) {
+    const std::vector<std::uint8_t> prefix(image.begin(), image.begin() + len);
+    EXPECT_THROW(SystemCheckpoint::Deserialize(prefix), WireError) << "prefix " << len;
+  }
+}
+
+TEST(CheckpointSerialTest, TruncatedRawPayloadThrowsNotCrashes) {
+  // The unframed payload (no CRC) must still fail structurally on
+  // truncation: bounds-checked reads, not overruns.
+  OpInstance inst = MakeEpDeleteCase()();
+  const std::vector<std::uint8_t> payload = StateSerializer::SerializeSystem(*inst.sys);
+  for (std::size_t len = 0; len < payload.size(); len += 61) {
+    try {
+      StateSerializer::DeserializeSystem(payload.data(), len);
+      FAIL() << "truncated payload of " << len << " bytes decoded";
+    } catch (const WireError&) {
+      // expected
+    }
+  }
+}
+
+TEST(CheckpointSerialTest, VersionAndTypeMismatchesAreStructured) {
+  OpInstance inst = MakeEpDeleteCase()();
+  std::vector<std::uint8_t> payload = StateSerializer::SerializeSystem(*inst.sys);
+
+  // Bump the leading version word.
+  payload[0] ^= 0xFF;
+  try {
+    StateSerializer::DeserializeSystem(payload);
+    FAIL() << "wrong version accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kBadVersion);
+  }
+  payload[0] ^= 0xFF;
+
+  // A frame of the wrong type is rejected before payload interpretation.
+  std::vector<std::uint8_t> frame;
+  engine::AppendFrame(frame, engine::FrameType::kTaskResult, payload);
+  try {
+    SystemCheckpoint::Deserialize(frame);
+    FAIL() << "wrong frame type accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.fault(), WireFault::kBadValue);
+  }
+}
+
+TEST(CheckpointSerialTest, KernelImageDigestTracksConfig) {
+  const KernelConfig after = KernelConfig::After();
+  const KernelConfig before = KernelConfig::Before();
+  EXPECT_EQ(StateSerializer::KernelImageDigest(after), StateSerializer::KernelImageDigest(after));
+  EXPECT_NE(StateSerializer::KernelImageDigest(after), StateSerializer::KernelImageDigest(before));
+
+  KernelConfig tweaked = after;
+  tweaked.ipc_fastpath = !tweaked.ipc_fastpath;
+  EXPECT_NE(StateSerializer::KernelImageDigest(after), StateSerializer::KernelImageDigest(tweaked));
+}
+
+TEST(CheckpointSerialTest, HistogramRoundTripsSparsely) {
+  LatencyHistogram h;
+  h.Record(1);
+  h.Record(1000, 3);
+  h.Record(123456789);
+  engine::WireWriter w;
+  StateSerializer::WriteHistogram(w, h);
+  engine::WireReader r(w.bytes().data(), w.bytes().size());
+  const LatencyHistogram back = StateSerializer::ReadHistogram(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.min(), h.min());
+  EXPECT_EQ(back.max(), h.max());
+  EXPECT_EQ(back.Percentile(50), h.Percentile(50));
+  EXPECT_EQ(back.Percentile(99), h.Percentile(99));
+}
+
+}  // namespace
+}  // namespace pmk

@@ -1,0 +1,192 @@
+// ResultJournal crash-safety: torn tails, corrupt frames, foreign digests.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/engine/journal.h"
+#include "src/engine/wire.h"
+
+namespace pmk::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("pmk_journal_test_" + std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string JournalPath() const { return (fs::path(dir_) / ResultJournal::kFileName).string(); }
+
+  std::vector<std::uint8_t> FileBytes() const {
+    std::vector<std::uint8_t> data;
+    std::FILE* f = std::fopen(JournalPath().c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    data.resize(static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+    return data;
+  }
+
+  void WriteFileBytes(const std::vector<std::uint8_t>& data) const {
+    std::FILE* f = std::fopen(JournalPath().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+    std::fclose(f);
+  }
+
+  std::string dir_;
+};
+
+constexpr std::uint64_t kDigest = 0xD1E57'CAFEull;
+
+std::vector<std::uint8_t> Payload(std::uint8_t fill, std::size_t n = 32) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST_F(JournalTest, KeyIsDeterministicAndSensitiveToEveryInput) {
+  const std::uint64_t k = ResultJournal::Key(kDigest, "exhaustive|retype|pp@3", 42);
+  EXPECT_EQ(k, ResultJournal::Key(kDigest, "exhaustive|retype|pp@3", 42));
+  EXPECT_NE(k, ResultJournal::Key(kDigest + 1, "exhaustive|retype|pp@3", 42));
+  EXPECT_NE(k, ResultJournal::Key(kDigest, "exhaustive|retype|pp@4", 42));
+  EXPECT_NE(k, ResultJournal::Key(kDigest, "exhaustive|retype|pp@3", 43));
+}
+
+TEST_F(JournalTest, AppendSurvivesReopen) {
+  {
+    ResultJournal j(dir_, kDigest);
+    EXPECT_EQ(j.size(), 0u);
+    j.Append(1, Payload(0xAA));
+    j.Append(2, Payload(0xBB, 1000));
+  }
+  ResultJournal j(dir_, kDigest);
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.truncated_bytes(), 0u);
+  EXPECT_FALSE(j.invalidated());
+  EXPECT_EQ(j.Lookup(1), Payload(0xAA));
+  EXPECT_EQ(j.Lookup(2), Payload(0xBB, 1000));
+  EXPECT_EQ(j.Lookup(3), std::nullopt);
+}
+
+TEST_F(JournalTest, DuplicateAppendKeepsFirstResult) {
+  ResultJournal j(dir_, kDigest);
+  j.Append(7, Payload(0x11));
+  j.Append(7, Payload(0x22));
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.Lookup(7), Payload(0x11));
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedOnOpen) {
+  {
+    ResultJournal j(dir_, kDigest);
+    j.Append(1, Payload(0xAA));
+    j.Append(2, Payload(0xBB));
+  }
+  // Simulate a mid-append kill: a fully-written entry followed by a torn one
+  // (frame cut short after the header and half the payload).
+  std::vector<std::uint8_t> data = FileBytes();
+  WireWriter w;
+  w.U64(3);
+  w.Bytes(Payload(0xCC));
+  std::vector<std::uint8_t> torn;
+  AppendFrame(torn, FrameType::kJournalEntry, w.bytes());
+  const std::size_t full_frame_size = torn.size();
+  torn.resize(torn.size() / 2);
+  const std::size_t intact_size = data.size();
+  data.insert(data.end(), torn.begin(), torn.end());
+  WriteFileBytes(data);
+
+  {
+    ResultJournal j(dir_, kDigest);
+    EXPECT_EQ(j.size(), 2u);
+    EXPECT_EQ(j.truncated_bytes(), torn.size());
+    EXPECT_EQ(j.Lookup(1), Payload(0xAA));
+    EXPECT_EQ(j.Lookup(2), Payload(0xBB));
+    EXPECT_EQ(j.Lookup(3), std::nullopt);
+    // Resumable after recovery: the re-executed run lands cleanly.
+    j.Append(3, Payload(0xCC));
+  }
+  // Torn bytes were truncated away; the re-executed entry re-appended whole.
+  EXPECT_EQ(FileBytes().size(), intact_size + full_frame_size);
+  ResultJournal j(dir_, kDigest);
+  EXPECT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.truncated_bytes(), 0u);
+  EXPECT_EQ(j.Lookup(3), Payload(0xCC));
+}
+
+TEST_F(JournalTest, CorruptEntryDropsItAndTheTail) {
+  {
+    ResultJournal j(dir_, kDigest);
+    j.Append(1, Payload(0xAA));
+  }
+  const std::size_t first_entry_end = FileBytes().size();
+  {
+    // Reopen to append two more (also exercises append-after-reopen).
+    ResultJournal j(dir_, kDigest);
+    j.Append(2, Payload(0xBB));
+    j.Append(3, Payload(0xCC));
+  }
+  std::vector<std::uint8_t> data = FileBytes();
+  data[first_entry_end + kFrameHeaderBytes + 4] ^= 0x01;  // flip a payload bit of entry 2
+  WriteFileBytes(data);
+
+  ResultJournal j(dir_, kDigest);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.Lookup(1), Payload(0xAA));
+  EXPECT_EQ(j.Lookup(2), std::nullopt);
+  EXPECT_EQ(j.Lookup(3), std::nullopt);  // after the corrupt frame: unreachable, dropped
+  EXPECT_EQ(j.truncated_bytes(), data.size() - first_entry_end);
+}
+
+TEST_F(JournalTest, ForeignDigestInvalidatesWholeJournal) {
+  {
+    ResultJournal j(dir_, kDigest);
+    j.Append(1, Payload(0xAA));
+  }
+  ResultJournal j(dir_, kDigest + 1);  // new kernel image: old results are void
+  EXPECT_TRUE(j.invalidated());
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.Lookup(1), std::nullopt);
+  j.Append(1, Payload(0xDD));
+
+  // And the rewritten journal belongs to the new digest.
+  ResultJournal back(dir_, kDigest + 1);
+  EXPECT_FALSE(back.invalidated());
+  EXPECT_EQ(back.Lookup(1), Payload(0xDD));
+}
+
+TEST_F(JournalTest, GarbageFileRecoversEmpty) {
+  fs::create_directories(dir_);
+  WriteFileBytes(std::vector<std::uint8_t>(301, 0x5A));
+  ResultJournal j(dir_, kDigest);
+  EXPECT_TRUE(j.invalidated());
+  EXPECT_EQ(j.size(), 0u);
+  j.Append(9, Payload(0xEE));
+  ResultJournal back(dir_, kDigest);
+  EXPECT_EQ(back.Lookup(9), Payload(0xEE));
+}
+
+TEST_F(JournalTest, EmptyPayloadRoundTrips) {
+  {
+    ResultJournal j(dir_, kDigest);
+    j.Append(5, {});
+  }
+  ResultJournal j(dir_, kDigest);
+  EXPECT_EQ(j.Lookup(5), std::vector<std::uint8_t>{});
+}
+
+}  // namespace
+}  // namespace pmk::engine
