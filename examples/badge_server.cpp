@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "src/load/fleet.h"
 #include "src/sim/latency.h"
 #include "src/sim/workload.h"
 
@@ -20,35 +21,29 @@ int main() {
 
   System sys(KernelConfig::After(), EvalMachine(false));
 
-  // The service endpoint and the server thread.
-  EndpointObj* ep = nullptr;
-  const std::uint32_t ep_cptr = sys.AddEndpoint(&ep);
-  TcbObj* server = sys.AddThread(/*prio=*/100);
+  // Endpoint, server thread, kernel-minted badges, client threads — the
+  // load::ClientFleet kernel-mint path is this example's historical boot
+  // sequence, so the generator builds the world for us.
+  load::FleetSpec spec;
+  spec.clients = 3;
+  spec.servers = 1;
+  spec.client_prio = 50;
+  spec.server_prio = 100;
+  spec.badge_base = 100;
+  spec.mint_via_kernel = true;
+  spec.first_mint_slot = 30;
+  spec.resume_threads = false;  // this example drives scheduling by hand
+  spec.on_mint = [](std::uint32_t badge, std::uint32_t client, std::uint32_t slot) {
+    std::printf("minted badge %u for client %u at slot %u\n", badge, client, slot);
+  };
+  const load::Fleet fleet = load::BuildClientFleet(sys, spec);
 
-  // Mint badged caps for three clients via the kernel API.
-  Cap root_cap;
-  root_cap.type = ObjType::kCNode;
-  root_cap.obj = sys.root()->base;
-  const std::uint32_t root_cptr = sys.AddCap(root_cap);
-  sys.kernel().DirectSetCurrent(server);
-
-  std::uint32_t client_cptr[3] = {};
-  for (std::uint32_t c = 0; c < 3; ++c) {
-    SyscallArgs mint;
-    mint.label = InvLabel::kCNodeMint;
-    mint.arg0 = ep_cptr;
-    mint.dest_index = 30 + c;
-    mint.badge = 100 + c;
-    sys.kernel().Syscall(SysOp::kCall, root_cptr, mint);
-    client_cptr[c] = 30 + c;
-    std::printf("minted badge %u for client %u at slot %u\n", 100 + c, c, 30 + c);
-  }
-
-  // Clients issue requests; the server answers, checking badges.
-  TcbObj* clients[3];
-  for (std::uint32_t c = 0; c < 3; ++c) {
-    clients[c] = sys.AddThread(/*prio=*/50);
-  }
+  EndpointObj* ep = fleet.endpoints[0];
+  const std::uint32_t ep_cptr = fleet.ep_cptrs[0];
+  TcbObj* server = fleet.servers[0];
+  const std::uint32_t root_cptr = fleet.root_cptr;
+  const std::vector<std::uint32_t>& client_cptr = fleet.client_cptrs;
+  const std::vector<TcbObj*>& clients = fleet.clients;
   for (int round = 0; round < 3; ++round) {
     const std::uint32_t c = static_cast<std::uint32_t>(round) % 3;
     if (server->blocked_on != ep->base) {

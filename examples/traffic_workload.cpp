@@ -1,0 +1,116 @@
+// traffic_workload — saturating traffic against the modelled kernel.
+//
+// Boots a badged IPC client fleet (1000+ clients round-robined over a server
+// pool through a dedicated one-level fleet CNode) plus a modelled NIC: an
+// SPSC descriptor ring fed by a rate-controlled frame source on the device
+// seam, drained by a two-phase driver (minimal-ISR ack at delivery, heavy
+// per-frame work deferred to the driver loop). The harness then sweeps
+// offered load — every arrival shape (open-loop, closed-loop, bursty storm)
+// at every device inter-frame gap — with each scenario forked from one
+// checkpointed boot, and checks the kernel-measured interrupt-response tail
+// of every non-storm scenario against WcetAnalyzer::InterruptResponseBound()
+// live. An enforced exceedance fails the run with a nonzero exit.
+//
+// Everything printed to stdout is modelled cycles/counts, byte-identical
+// across hosts and across --jobs / --shards values for a fixed seed (golden:
+// tests/goldens/traffic_workload_quick.txt for --quick --seed=42). Shard
+// supervision statistics vary with parallelism and go to stderr only.
+//
+// Usage:
+//   traffic_workload [--quick] [--seed=N] [--jobs=N] [--csv]
+//                    [--shards=N] [--journal=DIR] [--resume]
+//                    [--metrics-json=F] [--progress] [--no-telemetry]
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/engine/journal.h"
+#include "src/load/traffic.h"
+#include "src/obs/tail_observatory.h"
+#include "src/sim/report.h"
+#include "src/sim/workload.h"
+#include "src/wcet/analysis.h"
+
+namespace pmk {
+namespace {
+
+int Main(int argc, char** argv) {
+  const bench::CommonFlags flags = bench::ParseCommonFlags(argc, argv);
+
+  load::TrafficOptions opts;
+  opts.jobs = flags.jobs;
+  if (const std::string s = FlagValue(argc, argv, "--seed="); !s.empty()) {
+    opts.seed = std::stoull(s);
+  }
+  if (const std::string s = FlagValue(argc, argv, "--shards="); !s.empty()) {
+    opts.shards = static_cast<std::uint32_t>(std::stoul(s));
+  }
+  opts.journal_dir = FlagValue(argc, argv, "--journal=");
+  if (!opts.journal_dir.empty() && !HasFlag(argc, argv, "--resume")) {
+    // Fresh sweep: drop any previous journal so stale results cannot leak in.
+    std::error_code ec;
+    std::filesystem::remove(
+        std::filesystem::path(opts.journal_dir) / engine::ResultJournal::kFileName, ec);
+  }
+  if (flags.quick) {
+    // CI smoke shape: still a full thousand-client fleet over the whole
+    // scenario grid, but a shorter modelled duration per scenario.
+    opts.clients = 1000;
+    opts.run_cycles = 260'000;
+  } else {
+    opts.clients = 2000;
+    opts.servers = 16;
+  }
+
+  const auto img = BuildKernelImage(KernelConfig::After());
+  const WcetAnalyzer analyzer(*img, AnalysisOptions{});
+  const Cycles bound = analyzer.InterruptResponseBound();
+
+  const load::TrafficReport report = load::RunTrafficSweep(opts);
+
+  obs::TailObservatory observatory;
+  observatory.SetBound("after", bound);
+  load::FeedObservatory(report, observatory, "after");
+
+  if (flags.csv) {
+    load::WriteTrafficCsv(report, std::cout);
+  } else {
+    std::printf("Saturating traffic workload (seed=%llu, %u clients, %u servers)\n",
+                static_cast<unsigned long long>(opts.seed), opts.clients, opts.servers);
+    std::printf("analyzed bound (after kernel, L2 off): %llu cycles = %.1f us\n\n",
+                static_cast<unsigned long long>(bound), ClockSpec{}.ToMicros(bound));
+    std::printf("%s", load::RenderTrafficTable(report).c_str());
+    std::printf("\n%s", observatory.RenderTable().c_str());
+  }
+
+  if (report.shard.sharded) {
+    std::fprintf(stderr,
+                 "shards: %llu tasks, %llu journal hits, %llu retries, %llu timeouts, "
+                 "%llu worker deaths, %llu workers%s%s\n",
+                 static_cast<unsigned long long>(report.shard.tasks),
+                 static_cast<unsigned long long>(report.shard.journal_hits),
+                 static_cast<unsigned long long>(report.shard.retries),
+                 static_cast<unsigned long long>(report.shard.timeouts),
+                 static_cast<unsigned long long>(report.shard.worker_deaths),
+                 static_cast<unsigned long long>(report.shard.workers_spawned),
+                 report.shard.used_fallback ? ", in-process fallback" : "",
+                 report.shard.resumed ? ", resumed" : "");
+  }
+
+  const bool exceeded = observatory.AnyExceedance();
+  if (exceeded) {
+    std::fprintf(stderr,
+                 "BOUND EXCEEDED: an enforced traffic scenario's observed interrupt\n"
+                 "response passed the statically analyzed worst-case bound.\n");
+  }
+  bench::ExportMetricsJson(flags.metrics_json);
+  return exceeded ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace pmk
+
+int main(int argc, char** argv) { return pmk::Main(argc, argv); }

@@ -15,6 +15,7 @@
 #include "src/engine/wire.h"
 #include "src/kernel/error.h"
 #include "src/obs/metrics.h"
+#include "src/sim/latency.h"
 #include "src/sim/rng.h"
 #include "src/sim/runner.h"
 
@@ -808,15 +809,22 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
 
   // Telemetry + observatory feed: both consume the assembled report, after
   // every deterministic byte of it is fixed.
+  std::uint64_t total_spurious = 0;
+  std::uint64_t total_coalesced = 0;
   for (const ScenarioResult& r : report.results) {
     obs::Counter(obs::ObsLabeled("fault.campaign.scenarios", "mode", r.mode).c_str()).Inc();
+    total_spurious += r.spurious_acks;
+    total_coalesced += r.coalesced;
   }
+  RecordIrqControllerMetrics(total_spurious, total_coalesced);
   if (config.observatory != nullptr) {
     config.observatory->SetUnenforced("storm");
     for (const ScenarioResult& r : report.results) {
       const std::string scenario = ObservatoryScenario(r);
       config.observatory->Touch(config.config_label, scenario);
       config.observatory->RecordHistogram(config.config_label, scenario, r.irq_hist);
+      config.observatory->RecordIrqCounters(config.config_label, scenario,
+                                            r.spurious_acks, r.coalesced);
     }
   }
   return report;

@@ -1,0 +1,100 @@
+// Modelled NIC/DMA descriptor ring: the device half of the two-phase driver.
+//
+// A single-producer/single-consumer ring of frame descriptors, shaped like a
+// real NIC RX ring (picokernel's irq_ring idiom): the device (FrameSource)
+// pushes descriptors at its offered rate, the driver-loop thread pops and
+// processes them after a minimal ISR acked the interrupt. Indices are
+// monotonic 64-bit head/tail counters over a power-of-two slot array — the
+// lock-free SPSC layout — so Size() is one subtraction and wraparound never
+// needs a modulo branch. In the deterministic simulation both sides run on
+// the modelled core, so the "lock-free" property we actually rely on is the
+// layout's value semantics: the ring is a plain copyable value, which is what
+// makes checkpoint forks of a mid-burst scenario replay identically
+// (tests/load_ring_test.cc).
+//
+// Overrun policy is drop-newest, as hardware does when the host stalls: a
+// Push onto a full ring discards the frame and bumps dropped() — goodput vs
+// offered load is exactly this counter's story under saturation.
+
+#ifndef SRC_LOAD_RING_H_
+#define SRC_LOAD_RING_H_
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "src/hw/cycles.h"
+
+namespace pmk::load {
+
+// One RX descriptor: which frame, when the device delivered it, how big.
+struct FrameDesc {
+  std::uint64_t seq = 0;   // device-global frame sequence number
+  Cycles enqueued = 0;     // modelled cycle the device posted the descriptor
+  std::uint32_t len = 0;   // payload bytes (drives deferred per-frame cost)
+};
+
+class DeviceRing {
+ public:
+  // |capacity| is rounded up to a power of two (min 2) so slot selection is
+  // a mask, matching real descriptor rings.
+  explicit DeviceRing(std::uint32_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("DeviceRing: capacity must be nonzero");
+    }
+    std::uint32_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+  }
+
+  // Producer side. Returns false (and counts the drop) when the ring is full.
+  bool Push(const FrameDesc& d) {
+    produced_++;
+    if (Full()) {
+      dropped_++;
+      return false;
+    }
+    slots_[static_cast<std::size_t>(head_ & Mask())] = d;
+    head_++;
+    return true;
+  }
+
+  // Consumer side. FIFO: descriptors pop in push order.
+  std::optional<FrameDesc> Pop() {
+    if (Empty()) {
+      return std::nullopt;
+    }
+    FrameDesc d = slots_[static_cast<std::size_t>(tail_ & Mask())];
+    tail_++;
+    consumed_++;
+    return d;
+  }
+
+  bool Empty() const { return head_ == tail_; }
+  bool Full() const { return head_ - tail_ == slots_.size(); }
+  std::uint32_t Size() const { return static_cast<std::uint32_t>(head_ - tail_); }
+  std::uint32_t capacity() const { return static_cast<std::uint32_t>(slots_.size()); }
+
+  // Monotonic accounting. produced() counts every Push attempt, so
+  // produced() == dropped() + (frames accepted); consumed() counts Pops.
+  std::uint64_t produced() const { return produced_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t consumed() const { return consumed_; }
+
+ private:
+  std::uint64_t Mask() const { return slots_.size() - 1; }
+
+  std::vector<FrameDesc> slots_;
+  std::uint64_t head_ = 0;  // monotonic producer index
+  std::uint64_t tail_ = 0;  // monotonic consumer index
+  std::uint64_t produced_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace pmk::load
+
+#endif  // SRC_LOAD_RING_H_

@@ -1,0 +1,139 @@
+// Saturation harness: offered-load sweeps over the badged client fleet and
+// the modelled NIC ring, with interrupt-response tails checked live against
+// the analyzed WCET bound.
+//
+// One scenario = (arrival shape, offered-load point): a forked clone of a
+// single checkpointed fleet boot runs clients + servers + the two-phase
+// driver for a fixed modelled duration while the FrameSource streams frames
+// at the scenario's rate. Results carry full latency histograms plus
+// throughput/goodput/drop/coalesce counters, and are byte-identical for a
+// given seed at ANY parallelism:
+//
+//   - scenarios fan out over engine::RunJobs threads (--jobs), inputs a pure
+//     function of the scenario ordinal (SplitMix64::Split(ordinal));
+//   - or over engine::ShardSupervisor worker processes (--shards), results
+//     travelling as wire-encoded TrafficResult records, collected in ordinal
+//     order either way.
+//
+// The boot-once/fork-per-scenario checkpoint pattern is what makes a
+// thousand-client sweep cheap: the fleet is built exactly once.
+
+#ifndef SRC_LOAD_TRAFFIC_H_
+#define SRC_LOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/load/driver.h"
+#include "src/load/fleet.h"
+#include "src/obs/tail_observatory.h"
+
+namespace pmk::load {
+
+struct TrafficOptions {
+  std::uint64_t seed = 42;
+
+  // Fleet shape.
+  std::uint32_t clients = 1000;
+  std::uint32_t servers = 8;
+  std::uint8_t client_prio = 50;
+  std::uint8_t server_prio = 100;
+  std::uint8_t driver_prio = 200;  // drains above everything else
+
+  // Device model.
+  std::uint32_t nic_line = 1;  // line 0 is the timer
+  std::uint32_t ring_capacity = 64;
+  TwoPhaseDriver::Config driver;  // ack/recv cptrs are filled by the harness
+
+  // Scenario grid: every shape at every offered-load point (device mean
+  // inter-frame gap in cycles; smaller = hotter). Client think time scales
+  // with the same gap so IPC pressure rises with device pressure.
+  std::vector<ArrivalShape> shapes = {ArrivalShape::kOpenLoop, ArrivalShape::kClosedLoop,
+                                      ArrivalShape::kBurstyStorm};
+  std::vector<Cycles> load_gaps = {16384, 4096, 1024, 384};
+
+  // Run shape.
+  Cycles run_cycles = 600'000;
+  Cycles timer_period = 8192;     // periodic tick, bounds idle fast-forward
+  Cycles compute_slice = 400;     // Runner compute slicing granularity
+  Cycles client_think = 200;      // closed-loop think time
+
+  // Parallelism.
+  unsigned jobs = 1;        // in-process fan-out threads
+  std::uint32_t shards = 0;  // >0: fork-per-shard supervision
+  std::string journal_dir;   // optional crash-safe result journal
+  std::uint32_t shard_timeout_ms = 120'000;
+  std::uint32_t shard_max_attempts = 2;
+};
+
+// One scenario's deterministic outcome (modelled values only).
+struct TrafficResult {
+  std::string shape;           // ArrivalShapeName of the scenario shape
+  std::uint32_t load_point = 0;  // index into load_gaps
+  std::uint64_t frame_gap = 0;   // the device mean inter-frame gap swept
+
+  LatencyHistogram irq_hist;     // kernel-measured assert->ack responses
+  LatencyHistogram frame_delay;  // frame arrival -> driver pop (informational)
+
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_processed = 0;
+  std::uint64_t driver_acks = 0;
+  std::uint64_t client_calls = 0;     // IPC requests issued
+  std::uint64_t requests_served = 0;  // completed call/reply round trips
+  std::uint64_t spurious_acks = 0;
+  std::uint64_t coalesced_asserts = 0;
+  std::uint64_t steps = 0;  // total Runner steps completed
+};
+
+// Wire codec for the shard result pipe / journal (StateSerializer histogram
+// encoding inside a WireWriter record). Decode throws WireError on corrupt
+// bytes.
+std::vector<std::uint8_t> EncodeTrafficResult(const TrafficResult& r);
+TrafficResult DecodeTrafficResult(const std::vector<std::uint8_t>& bytes);
+
+struct TrafficShardStats {
+  bool sharded = false;
+  std::uint64_t tasks = 0;
+  std::uint64_t journal_hits = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t workers_spawned = 0;
+  bool used_fallback = false;
+  bool resumed = false;
+};
+
+struct TrafficReport {
+  std::uint64_t seed = 0;
+  std::vector<TrafficResult> results;  // scenario-ordinal order
+  TrafficShardStats shard;             // supervision outcome; NOT golden-able
+};
+
+// Runs the full sweep. Boots the fleet once, checkpoints, forks per
+// scenario; fan-out per |opts.jobs| / |opts.shards|. Throws on a scenario
+// that fails even quarantined re-execution.
+TrafficReport RunTrafficSweep(const TrafficOptions& opts);
+
+// Deterministic renderings (modelled values only — golden-able bytes).
+std::string RenderTrafficTable(const TrafficReport& report);
+void WriteTrafficCsv(const TrafficReport& report, std::ostream& os);
+
+// Feeds per-scenario histograms + controller counters into the observatory
+// under scenario label "traffic/<shape>/g<gap>". Storm scenarios are marked
+// unenforced: their latencies include device-side masked windows the kernel
+// analysis deliberately excludes.
+void FeedObservatory(const TrafficReport& report, obs::TailObservatory& observatory,
+                     const std::string& config_label);
+
+// Offered-load vs tail-latency trajectory in the BENCH_*.json house format.
+// |bound| annotates each point with the analyzed interrupt-response bound;
+// |wall_seconds| (optional, <0 to omit) records sweep wall time.
+void WriteTrafficBenchJson(const TrafficReport& report, Cycles bound, double wall_seconds,
+                           std::ostream& os);
+
+}  // namespace pmk::load
+
+#endif  // SRC_LOAD_TRAFFIC_H_

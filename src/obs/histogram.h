@@ -37,6 +37,13 @@ class LatencyHistogram {
   Cycles max() const { return max_; }
   double Mean() const;
 
+  // Throughput/mean reporting accessors: total recordings and the exact sum
+  // of all recorded values (0 for an empty histogram). Sum()/Count() equals
+  // Mean(); exposing the sum lets aggregators merge means without losing the
+  // exact totals.
+  std::uint64_t Count() const { return count_; }
+  double Sum() const { return count_ == 0 ? 0.0 : sum_; }
+
   // Value at the given percentile (p in [0,100]): the upper bound of the
   // bucket containing the p-th ranked recording, clamped to the exact
   // observed [min, max]. Percentile(100) == max() exactly.

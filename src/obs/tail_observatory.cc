@@ -31,7 +31,7 @@ void TailObservatory::Touch(const std::string& config, const std::string& scenar
 void TailObservatory::Record(const std::string& config, const std::string& scenario,
                              Cycles latency) {
   std::lock_guard<std::mutex> lock(mu_);
-  cells_[Key{config, scenario}].Record(latency);
+  cells_[Key{config, scenario}].hist.Record(latency);
 }
 
 void TailObservatory::RecordHistogram(const std::string& config,
@@ -41,18 +41,30 @@ void TailObservatory::RecordHistogram(const std::string& config,
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  cells_[Key{config, scenario}].Merge(hist);
+  cells_[Key{config, scenario}].hist.Merge(hist);
+}
+
+void TailObservatory::RecordIrqCounters(const std::string& config,
+                                        const std::string& scenario,
+                                        std::uint64_t spurious_acks,
+                                        std::uint64_t coalesced_asserts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[Key{config, scenario}];
+  cell.spurious_acks += spurious_acks;
+  cell.coalesced_asserts += coalesced_asserts;
 }
 
 std::vector<TailObservatory::Row> TailObservatory::Rows() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Row> rows;
   rows.reserve(cells_.size());
-  for (const auto& [key, hist] : cells_) {
+  for (const auto& [key, cell] : cells_) {
     Row row;
     row.config = key.config;
     row.scenario = key.scenario;
-    row.hist = hist;
+    row.hist = cell.hist;
+    row.spurious_acks = cell.spurious_acks;
+    row.coalesced_asserts = cell.coalesced_asserts;
     const auto bit = bounds_.find(key.config);
     row.bound = bit == bounds_.end() ? 0 : bit->second;
     row.enforced = unenforced_.find(key.scenario) == unenforced_.end();
@@ -113,11 +125,13 @@ std::string TailObservatory::RenderTable() const {
 }
 
 void TailObservatory::WriteCsv(std::ostream& os) const {
-  os << "config,scenario,count,min,p50,p90,p99,max,bound,headroom,enforced,exceeded\n";
+  os << "config,scenario,count,min,p50,p90,p99,max,bound,headroom,enforced,exceeded,"
+        "spurious_acks,coalesced_asserts\n";
   for (const Row& row : Rows()) {
     const LatencyHistogram::Summary s = row.hist.Summarize();
-    char buf[320];
-    std::snprintf(buf, sizeof(buf), "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.4f,%d,%d\n",
+    char buf[384];
+    std::snprintf(buf, sizeof(buf),
+                  "%s,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.4f,%d,%d,%llu,%llu\n",
                   row.config.c_str(), row.scenario.c_str(),
                   static_cast<unsigned long long>(s.count),
                   static_cast<unsigned long long>(s.min),
@@ -126,7 +140,9 @@ void TailObservatory::WriteCsv(std::ostream& os) const {
                   static_cast<unsigned long long>(s.p99),
                   static_cast<unsigned long long>(s.max),
                   static_cast<unsigned long long>(row.bound), row.headroom(),
-                  row.enforced ? 1 : 0, row.exceeded() ? 1 : 0);
+                  row.enforced ? 1 : 0, row.exceeded() ? 1 : 0,
+                  static_cast<unsigned long long>(row.spurious_acks),
+                  static_cast<unsigned long long>(row.coalesced_asserts));
     os << buf;
   }
 }
@@ -134,12 +150,13 @@ void TailObservatory::WriteCsv(std::ostream& os) const {
 void TailObservatory::WriteJsonl(std::ostream& os) const {
   for (const Row& row : Rows()) {
     const LatencyHistogram::Summary s = row.hist.Summarize();
-    char buf[448];
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "{\"config\":\"%s\",\"scenario\":\"%s\",\"count\":%llu,"
                   "\"min\":%llu,\"p50\":%llu,\"p90\":%llu,\"p99\":%llu,"
                   "\"max\":%llu,\"bound\":%llu,\"headroom\":%.4f,"
-                  "\"enforced\":%s,\"exceeded\":%s}\n",
+                  "\"enforced\":%s,\"exceeded\":%s,"
+                  "\"spurious_acks\":%llu,\"coalesced_asserts\":%llu}\n",
                   row.config.c_str(), row.scenario.c_str(),
                   static_cast<unsigned long long>(s.count),
                   static_cast<unsigned long long>(s.min),
@@ -148,7 +165,9 @@ void TailObservatory::WriteJsonl(std::ostream& os) const {
                   static_cast<unsigned long long>(s.p99),
                   static_cast<unsigned long long>(s.max),
                   static_cast<unsigned long long>(row.bound), row.headroom(),
-                  row.enforced ? "true" : "false", row.exceeded() ? "true" : "false");
+                  row.enforced ? "true" : "false", row.exceeded() ? "true" : "false",
+                  static_cast<unsigned long long>(row.spurious_acks),
+                  static_cast<unsigned long long>(row.coalesced_asserts));
     os << buf;
   }
 }

@@ -45,6 +45,13 @@ class TailObservatory {
     Cycles bound = 0;      // InterruptResponseBound for |config|; 0 = unknown
     bool enforced = true;  // exceedance counts toward AnyExceedance()
 
+    // Controller-side robustness counters for the scenario (see
+    // InterruptController): acks absorbed with no pending line, and asserts
+    // coalesced into an already-pending one. Saturating device rings drive
+    // the coalesce count; both are exported to CSV/JSONL (not the table).
+    std::uint64_t spurious_acks = 0;
+    std::uint64_t coalesced_asserts = 0;
+
     bool exceeded() const { return bound != 0 && hist.max() > bound; }
     // bound / observed-max; 0 when either side is missing.
     double headroom() const;
@@ -66,6 +73,12 @@ class TailObservatory {
   void RecordHistogram(const std::string& config, const std::string& scenario,
                        const LatencyHistogram& hist);
 
+  // Accumulates interrupt-controller robustness counters into the row (the
+  // caller harvests InterruptController::spurious_acks()/coalesced_asserts()
+  // deltas on the deterministic path, like the histograms).
+  void RecordIrqCounters(const std::string& config, const std::string& scenario,
+                         std::uint64_t spurious_acks, std::uint64_t coalesced_asserts);
+
   // Rows sorted by (config, scenario). Thread-safe snapshot.
   std::vector<Row> Rows() const;
 
@@ -74,7 +87,8 @@ class TailObservatory {
   // Aligned bound-vs-observed table; modelled cycles only, so output is
   // golden-able. Returns the rendered text.
   std::string RenderTable() const;
-  // config,scenario,count,min,p50,p90,p99,max,bound,headroom,enforced,exceeded
+  // config,scenario,count,min,p50,p90,p99,max,bound,headroom,enforced,
+  // exceeded,spurious_acks,coalesced_asserts
   void WriteCsv(std::ostream& os) const;
   // One JSON object per row (same fields as the CSV).
   void WriteJsonl(std::ostream& os) const;
@@ -87,9 +101,14 @@ class TailObservatory {
       return config != o.config ? config < o.config : scenario < o.scenario;
     }
   };
+  struct Cell {
+    LatencyHistogram hist;
+    std::uint64_t spurious_acks = 0;
+    std::uint64_t coalesced_asserts = 0;
+  };
 
   mutable std::mutex mu_;
-  std::map<Key, LatencyHistogram> cells_;
+  std::map<Key, Cell> cells_;
   std::map<std::string, Cycles> bounds_;        // by config
   std::map<std::string, bool> unenforced_;      // by scenario
 };

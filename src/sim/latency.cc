@@ -94,4 +94,16 @@ LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
   return res;
 }
 
+void RecordIrqControllerMetrics(std::uint64_t spurious_acks,
+                                std::uint64_t coalesced_asserts) {
+  static obs::Counter spurious("sim.irq.spurious_acks");
+  static obs::Counter coalesced("sim.irq.coalesced_asserts");
+  if (spurious_acks > 0) {
+    spurious.Inc(spurious_acks);
+  }
+  if (coalesced_asserts > 0) {
+    coalesced.Inc(coalesced_asserts);
+  }
+}
+
 }  // namespace pmk

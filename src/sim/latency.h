@@ -44,6 +44,12 @@ struct LongOpResult {
 LongOpResult RunLongOpWithTimer(System& sys, SysOp op, std::uint32_t cptr,
                                 const SyscallArgs& args, Cycles timer_period);
 
+// Surfaces interrupt-controller robustness counters into the process-wide
+// telemetry registry as "sim.irq.spurious_acks" / "sim.irq.coalesced_asserts"
+// counter rows. Call with per-run DELTAS after a modelled run completes —
+// observer only, zero modelled cycles.
+void RecordIrqControllerMetrics(std::uint64_t spurious_acks, std::uint64_t coalesced_asserts);
+
 }  // namespace pmk
 
 #endif  // SRC_SIM_LATENCY_H_

@@ -102,43 +102,85 @@ std::uint64_t Runner::Run(Cycles duration) {
       }
       p.pc = 0;
     }
-    const UserStep& step = p.steps[p.pc];
-    switch (step.kind) {
-      case UserStep::Kind::kCompute:
-        m.RawCycles(step.compute);
+    const UserStep* step = &p.steps[p.pc];
+    bool dynamic = false;
+    if (step->kind == UserStep::Kind::kDynamic) {
+      dynamic = true;
+      if (!p.dyn_active.has_value()) {
+        std::optional<UserStep> next = step->gen ? step->gen(*sys_) : std::nullopt;
+        if (!next.has_value()) {
+          // Generator exhausted: the dynamic step completes like any other.
+          p.pc++;
+          p.completed++;
+          total_steps++;
+          if (hook_) {
+            hook_(cur, p.pc - 1);
+          }
+          continue;
+        }
+        p.dyn_active = std::move(next);
+      }
+      step = &*p.dyn_active;
+    }
+    bool step_done = false;
+    switch (step->kind) {
+      case UserStep::Kind::kCompute: {
+        const Cycles left = p.compute_left > 0 ? p.compute_left : step->compute;
+        if (compute_slice_ > 0 && left > compute_slice_) {
+          // Partial burst: burn one slice, then loop back so devices and
+          // pending interrupts are re-checked before the next slice.
+          m.RawCycles(compute_slice_);
+          p.compute_left = left - compute_slice_;
+          continue;
+        }
+        m.RawCycles(left);
+        p.compute_left = 0;
         if (sink_ != nullptr) {
           TraceEvent ev;
           ev.kind = TraceEventKind::kUserCompute;
           ev.cycle = m.Now();
           ev.name = "compute";
           ev.id = ThreadOrdinal(cur);
-          ev.arg0 = step.compute;
+          ev.arg0 = step->compute;
           ev.arg1 = cur->base;
           sink_->OnEvent(ev);
         }
-        p.pc++;
-        p.completed++;
-        total_steps++;
+        step_done = true;
         break;
+      }
       case UserStep::Kind::kSyscall: {
-        const KernelExit e = k.Syscall(step.op, step.cptr, step.args);
+        const KernelExit e = k.Syscall(step->op, step->cptr, step->args);
         if (e == KernelExit::kPreempted) {
-          // Restartable system call: keep the program counter in place; the
-          // thread re-issues the same syscall when it next runs. The
-          // interrupt was serviced (and its line masked) inside the entry.
+          // Restartable system call: keep the program counter (and any
+          // in-flight dynamic sub-step) in place; the thread re-issues the
+          // same syscall when it next runs. The interrupt was serviced (and
+          // its line masked) inside the entry.
           ReenableUnboundLines();
           p.retry = true;
           break;
         }
         p.retry = false;
-        p.pc++;
-        p.completed++;
-        total_steps++;
+        step_done = true;
         break;
       }
+      case UserStep::Kind::kDynamic:
+        // A generator must yield concrete sub-steps; a nested dynamic step
+        // completes as a no-op rather than recursing.
+        step_done = true;
+        break;
     }
-    if (hook_ && !p.retry) {
-      hook_(cur, p.pc == 0 ? p.steps.size() - 1 : p.pc - 1);
+    if (!step_done) {
+      continue;
+    }
+    if (dynamic) {
+      p.dyn_active.reset();  // next visit consults the generator again
+    } else {
+      p.pc++;
+    }
+    p.completed++;
+    total_steps++;
+    if (hook_) {
+      hook_(cur, dynamic ? p.pc : (p.pc == 0 ? p.steps.size() - 1 : p.pc - 1));
     }
   }
   return total_steps;

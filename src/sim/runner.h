@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "src/sim/workload.h"
@@ -23,7 +24,7 @@ namespace pmk {
 class TraceSink;
 
 struct UserStep {
-  enum class Kind : std::uint8_t { kCompute, kSyscall };
+  enum class Kind : std::uint8_t { kCompute, kSyscall, kDynamic };
   Kind kind = Kind::kCompute;
   Cycles compute = 0;  // kCompute: cycles of user-mode work
 
@@ -31,6 +32,17 @@ struct UserStep {
   SysOp op = SysOp::kYield;
   std::uint32_t cptr = 0;
   SyscallArgs args;
+
+  // kDynamic: a generator consulted each time the thread is scheduled at this
+  // step. It returns the next concrete sub-step (kCompute or kSyscall) to
+  // execute in place, or nullopt to complete the dynamic step and advance.
+  // This is how event-driven threads (e.g. the two-phase NIC driver in
+  // src/load) script themselves against live system state: the generator may
+  // inspect — but not enter — the kernel. A preempted sub-syscall is
+  // re-issued without re-consulting the generator, preserving the
+  // restartable-syscall contract.
+  using Generator = std::function<std::optional<UserStep>(System&)>;
+  Generator gen;
 
   static UserStep Compute(Cycles c) {
     UserStep s;
@@ -44,6 +56,12 @@ struct UserStep {
     s.op = op;
     s.cptr = cptr;
     s.args = args;
+    return s;
+  }
+  static UserStep Dynamic(Generator g) {
+    UserStep s;
+    s.kind = Kind::kDynamic;
+    s.gen = std::move(g);
     return s;
   }
 };
@@ -72,6 +90,15 @@ class Runner {
   // the kernel itself (the runner delivers any pending interrupt right after).
   void SetDisturbance(std::function<void(Cycles)> hook) { disturbance_ = std::move(hook); }
 
+  // Opt-in compute slicing: a kCompute burst longer than |slice| advances the
+  // machine in |slice|-cycle chunks, re-checking devices and pending
+  // interrupts between chunks, instead of as one atomic block. This bounds
+  // the latency a user-mode think burst can add to modelled IRQ delivery —
+  // the saturation workloads need it so client compute never dominates the
+  // measured response tail. 0 (the default) keeps the historical atomic
+  // behaviour; traces and hooks still fire once, at burst completion.
+  void SetComputeSliceCycles(Cycles slice) { compute_slice_ = slice; }
+
   // Runs the system for |duration| modelled cycles (approximately: the last
   // step may overshoot). Returns the number of steps completed.
   std::uint64_t Run(Cycles duration);
@@ -86,6 +113,8 @@ class Runner {
     std::size_t pc = 0;           // next step
     bool retry = false;           // re-issue the current syscall (restart)
     std::uint64_t completed = 0;
+    Cycles compute_left = 0;      // sliced kCompute: cycles still to burn
+    std::optional<UserStep> dyn_active;  // in-flight sub-step of a kDynamic step
   };
 
   // Delivers a pending interrupt from userland.
@@ -99,6 +128,7 @@ class Runner {
   void NoteCurrentThread();
 
   System* sys_;
+  Cycles compute_slice_ = 0;  // 0 = atomic compute bursts (historical)
   std::map<const TcbObj*, ThreadProgram> programs_;
   std::function<void(TcbObj*, std::size_t)> hook_;
   std::function<void(Cycles)> disturbance_;

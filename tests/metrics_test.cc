@@ -279,6 +279,47 @@ TEST(TailObservatoryTest, CsvAndJsonlExportOneRowPerCell) {
   EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
 }
 
+TEST(TailObservatoryTest, IrqCountersAccumulatePerCellAndExport) {
+  obs::TailObservatory to;
+  to.SetBound("after", 1000);
+  to.Record("after", "traffic/open", 100);
+  to.RecordIrqCounters("after", "traffic/open", /*spurious_acks=*/3,
+                       /*coalesced_asserts=*/7);
+  to.RecordIrqCounters("after", "traffic/open", 1, 2);  // accumulates
+  to.Touch("after", "traffic/storm");                   // counters default to 0
+
+  const auto rows = to.Rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].scenario, "traffic/open");
+  EXPECT_EQ(rows[0].spurious_acks, 4u);
+  EXPECT_EQ(rows[0].coalesced_asserts, 9u);
+  EXPECT_EQ(rows[1].spurious_acks, 0u);
+  EXPECT_EQ(rows[1].coalesced_asserts, 0u);
+
+  std::ostringstream csv_stream;
+  to.WriteCsv(csv_stream);
+  const std::string csv = csv_stream.str();
+  EXPECT_NE(csv.find("spurious_acks,coalesced_asserts"), std::string::npos);
+  EXPECT_NE(csv.find(",4,9\n"), std::string::npos);
+
+  std::ostringstream jsonl_stream;
+  to.WriteJsonl(jsonl_stream);
+  const std::string jsonl = jsonl_stream.str();
+  EXPECT_NE(jsonl.find("\"spurious_acks\":4"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"coalesced_asserts\":9"), std::string::npos);
+}
+
+TEST(TailObservatoryTest, IrqCountersAloneCreateARow) {
+  // A scenario that only ever reported counters (no latency samples) still
+  // shows up — drops at full saturation can coalesce every assert.
+  obs::TailObservatory to;
+  to.RecordIrqCounters("after", "traffic/saturated", 0, 12);
+  const auto rows = to.Rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(rows[0].hist.empty());
+  EXPECT_EQ(rows[0].coalesced_asserts, 12u);
+}
+
 TEST(TailObservatoryTest, TailSinkHarvestsIrqDeliveriesFromLiveTrace) {
   // A TailSink on a timer-preempted retype must collect exactly the runs'
   // IRQ latencies — same count and max as the result record — at zero

@@ -94,6 +94,39 @@ TEST(HistogramTest, EmptyHistogram) {
   EXPECT_EQ(h.Percentile(50), 0u);
 }
 
+TEST(HistogramTest, CountAndSumAccessors) {
+  LatencyHistogram h;
+  // Empty histogram: both accessors are exact zeros (Sum() must not leak an
+  // uninitialised accumulator).
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  h.Record(100);
+  h.Record(250);
+  h.Record(7);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 357.0);
+  // Count()/Sum() agree with the existing count()/Mean() surface.
+  EXPECT_EQ(h.Count(), h.count());
+  EXPECT_DOUBLE_EQ(h.Sum() / static_cast<double>(h.Count()), h.Mean());
+  h.Record(0, 5);  // multi-record of zeros bumps count, not sum
+  EXPECT_EQ(h.Count(), 8u);
+  EXPECT_EQ(h.Sum(), 357.0);
+}
+
+TEST(HistogramTest, CountAndSumSurviveMergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(10);
+  b.Record(20);
+  b.Record(30);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 3u);
+  EXPECT_EQ(a.Sum(), 60.0);
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0u);
+  EXPECT_EQ(a.Sum(), 0.0);
+}
+
 TEST(HistogramTest, MergeMatchesCombinedRecording) {
   LatencyHistogram a;
   LatencyHistogram b;
