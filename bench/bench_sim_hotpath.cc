@@ -1,13 +1,16 @@
 // bench_sim_hotpath — single-thread hot-path benchmark with self-check.
 //
-// Runs campaign-shaped workloads twice: once through the retained reference
+// Runs campaign-shaped workloads three times: through the retained reference
 // path (the seed implementation's cost profile: division-based cache
 // indexing, out-of-line per-access calls, tick-every-advance timer, generic
-// per-execution span arithmetic) and once through the optimised hot path
-// (SoA shift/mask cache, precomputed block spans, cached timer deadline).
-// Both passes must produce bit-identical modelled results — the benchmark
-// digests every observable output and FAILS (nonzero exit) on any mismatch.
-// The speedup numbers are informational; only the self-check gates.
+// per-execution span arithmetic), through the record-walking interpreter
+// (SoA shift/mask cache, precomputed block spans, cached timer deadline,
+// compiled backend forced off), and through the compiled threaded-code
+// backend (the default: per-block charge streams with constant-folded cache
+// geometry, computed-goto dispatch where available). All three passes must
+// produce bit-identical modelled results — the benchmark digests every
+// observable output and FAILS (nonzero exit) on any mismatch. The speedup
+// numbers are informational; only the self-check gates.
 //
 //   $ bench_sim_hotpath [--quick] [--json=BENCH_hotpath.json] [--csv]
 //                       [--obs-json=BENCH_obs.json]
@@ -22,12 +25,14 @@
 // written to BENCH_obs.json. The repo's acceptance bar is <3% overhead on
 // the best repetition of the hot-path workload.
 //
-// Timing convention: reference and optimised repetitions are interleaved
-// (ref, opt, ref, opt, ...) so ambient host load disturbs both paths alike,
-// each repetition is timed individually, and the reported speedup is the
-// ratio of best (minimum) repetition times. Both paths are deterministic and
-// identical across repetitions, so the minimum is the run least disturbed by
-// the host scheduler — total seconds are also reported.
+// Timing convention: the three modes' repetitions are interleaved
+// (ref, interp, compiled, ref, interp, compiled, ...) so ambient host load
+// disturbs all paths alike, each repetition is timed individually, and the
+// reported speedups are ratios of best (minimum) repetition times. All paths
+// are deterministic and identical across repetitions, so the minimum is the
+// run least disturbed by the host scheduler — total seconds are also
+// reported. "speedup" is compiled vs reference (the acceptance gate);
+// "interp speedup" is the interpreter vs reference for attribution.
 
 #include <algorithm>
 #include <chrono>
@@ -42,6 +47,7 @@
 #include "src/fault/campaign.h"
 #include "src/fault/scenario.h"
 #include "src/hw/hotpath.h"
+#include "src/kir/compiled.h"
 #include "src/obs/metrics.h"
 #include "src/sim/report.h"
 #include "src/sim/workload.h"
@@ -80,24 +86,32 @@ struct Measurement {
 struct WorkloadResult {
   std::string name;
   std::uint32_t runs = 0;
-  Measurement reference;
-  Measurement optimized;
+  Measurement reference;  // seed cost profile
+  Measurement interp;     // record-walking interpreter (compiled backend off)
+  Measurement compiled;   // threaded-code backend (the default)
 
-  bool identical() const { return reference.digest == optimized.digest; }
-  // Ratio of best (least-disturbed) repetition times; see header comment.
+  bool identical() const {
+    return reference.digest == interp.digest && reference.digest == compiled.digest;
+  }
+  // Ratios of best (least-disturbed) repetition times; see header comment.
   double Speedup() const {
-    return optimized.best_rep_seconds > 0
-               ? reference.best_rep_seconds / optimized.best_rep_seconds
+    return compiled.best_rep_seconds > 0
+               ? reference.best_rep_seconds / compiled.best_rep_seconds
                : 0;
   }
-  // ns of host time per modelled cycle on the optimised path.
+  double InterpSpeedup() const {
+    return interp.best_rep_seconds > 0
+               ? reference.best_rep_seconds / interp.best_rep_seconds
+               : 0;
+  }
+  // ns of host time per modelled cycle on the compiled path.
   double NsPerCycle() const {
-    return optimized.modelled_cycles > 0
-               ? optimized.seconds * 1e9 / static_cast<double>(optimized.modelled_cycles)
+    return compiled.modelled_cycles > 0
+               ? compiled.seconds * 1e9 / static_cast<double>(compiled.modelled_cycles)
                : 0;
   }
   double RunsPerSec() const {
-    return optimized.seconds > 0 ? runs / optimized.seconds : 0;
+    return compiled.seconds > 0 ? runs / compiled.seconds : 0;
   }
 };
 
@@ -214,8 +228,8 @@ void RepCampaign(Measurement& m) {
   m.digest = Fnv1a(m.digest, s.data(), s.size());
 }
 
-// Runs |reps| reference/optimised repetition pairs, interleaved so ambient
-// host load disturbs both paths alike, and times each repetition
+// Runs |reps| reference/interpreter/compiled repetition triples, interleaved
+// so ambient host load disturbs all paths alike, and times each repetition
 // individually. The digest chains per mode across repetitions, so mode
 // switching between repetitions cannot mask a divergence.
 WorkloadResult RunWorkload(const std::string& name, std::uint32_t reps,
@@ -230,21 +244,31 @@ WorkloadResult RunWorkload(const std::string& name, std::uint32_t reps,
     r.reference.RecordRep(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
     hotpath::SetReferenceMode(false);
+    hotpath::SetCompiledMode(false);
     t0 = std::chrono::steady_clock::now();
-    rep(r.optimized);
-    r.optimized.RecordRep(
+    rep(r.interp);
+    r.interp.RecordRep(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+    hotpath::SetCompiledMode(true);
+    t0 = std::chrono::steady_clock::now();
+    rep(r.compiled);
+    r.compiled.RecordRep(
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   }
-  std::printf("  %-24s ref %.3fs  opt %.3fs  speedup %.2fx  %s\n", name.c_str(),
-              r.reference.seconds, r.optimized.seconds, r.Speedup(),
-              r.identical() ? "[outputs identical]" : "[OUTPUT MISMATCH]");
+  std::printf(
+      "  %-24s ref %.3fs  interp %.3fs  compiled %.3fs  speedup %.2fx "
+      "(interp %.2fx)  %s\n",
+      name.c_str(), r.reference.seconds, r.interp.seconds, r.compiled.seconds,
+      r.Speedup(), r.InterpSpeedup(),
+      r.identical() ? "[outputs identical]" : "[OUTPUT MISMATCH]");
   return r;
 }
 
 // --- Telemetry overhead phase (BENCH_obs.json) ----------------------------
-// The same workloads, both arms on the optimised hot path, one with the obs
-// metrics registry disabled and one with it enabled. Digests must match:
-// telemetry is an observer of results already collected, never an input.
+// The same workloads, both arms on the default (compiled) hot path, one with
+// the obs metrics registry disabled and one with it enabled. Digests must
+// match: telemetry is an observer of results already collected, never an
+// input.
 
 struct ObsResult {
   std::string name;
@@ -268,6 +292,7 @@ ObsResult RunObsWorkload(const std::string& name, std::uint32_t reps,
   r.name = name;
   r.runs = reps;
   hotpath::SetReferenceMode(false);
+  hotpath::SetCompiledMode(true);
   for (std::uint32_t i = 0; i < reps; ++i) {
     obs::MetricsRegistry::SetEnabled(false);
     auto t0 = std::chrono::steady_clock::now();
@@ -312,29 +337,34 @@ void WriteObsJson(std::ostream& os, const std::vector<ObsResult>& results) {
 }
 
 void WriteJson(std::ostream& os, const std::vector<WorkloadResult>& results) {
-  os << "{\n  \"benchmarks\": [\n";
+  os << "{\n  \"dispatch\": \"" << CompiledProgram::DispatchName() << "\",\n"
+     << "  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const WorkloadResult& r = results[i];
-    char buf[768];
+    char buf[1024];
     std::snprintf(buf, sizeof(buf),
                   "    {\n"
                   "      \"name\": \"%s\",\n"
                   "      \"runs\": %u,\n"
                   "      \"modelled_cycles\": %llu,\n"
                   "      \"reference_seconds\": %.6f,\n"
+                  "      \"interpreter_seconds\": %.6f,\n"
                   "      \"optimized_seconds\": %.6f,\n"
                   "      \"reference_best_rep_seconds\": %.6f,\n"
+                  "      \"interpreter_best_rep_seconds\": %.6f,\n"
                   "      \"optimized_best_rep_seconds\": %.6f,\n"
                   "      \"speedup\": %.2f,\n"
+                  "      \"interpreter_speedup\": %.2f,\n"
                   "      \"ns_per_modelled_cycle\": %.3f,\n"
                   "      \"runs_per_sec\": %.1f,\n"
                   "      \"identical_output\": %s\n"
                   "    }%s\n",
                   r.name.c_str(), r.runs,
-                  static_cast<unsigned long long>(r.optimized.modelled_cycles),
-                  r.reference.seconds, r.optimized.seconds,
-                  r.reference.best_rep_seconds, r.optimized.best_rep_seconds,
-                  r.Speedup(), r.NsPerCycle(),
+                  static_cast<unsigned long long>(r.compiled.modelled_cycles),
+                  r.reference.seconds, r.interp.seconds, r.compiled.seconds,
+                  r.reference.best_rep_seconds, r.interp.best_rep_seconds,
+                  r.compiled.best_rep_seconds,
+                  r.Speedup(), r.InterpSpeedup(), r.NsPerCycle(),
                   r.RunsPerSec(), r.identical() ? "true" : "false",
                   i + 1 < results.size() ? "," : "");
     os << buf;
@@ -358,7 +388,10 @@ int main(int argc, char** argv) {
     obs_json_path = "BENCH_obs.json";
   }
 
-  std::printf("Hot-path benchmark: reference (seed cost profile) vs optimised inner loop.\n");
+  std::printf(
+      "Hot-path benchmark: reference (seed cost profile) vs interpreter vs\n"
+      "compiled threaded-code backend (%s dispatch).\n",
+      CompiledProgram::DispatchName());
   std::printf("Mode: %s\n\n", quick ? "quick (CI smoke)" : "full");
 
   std::vector<WorkloadResult> results;
@@ -367,15 +400,18 @@ int main(int argc, char** argv) {
   results.push_back(RunWorkload("irq-sweep-retype", quick ? 3 : 30, RepIrqSweep));
   results.push_back(RunWorkload("campaign-mixed-seed42", quick ? 1 : 8, RepCampaign));
 
-  Table t({"workload", "runs", "ref s", "opt s", "speedup", "ns/cycle", "runs/s", "identical"});
+  Table t({"workload", "runs", "ref s", "interp s", "compiled s", "speedup", "interp x",
+           "ns/cycle", "runs/s", "identical"});
   for (const WorkloadResult& r : results) {
-    char ref_s[32], opt_s[32], ns[32], rps[32];
+    char ref_s[32], interp_s[32], comp_s[32], ns[32], rps[32];
     std::snprintf(ref_s, sizeof(ref_s), "%.3f", r.reference.seconds);
-    std::snprintf(opt_s, sizeof(opt_s), "%.3f", r.optimized.seconds);
+    std::snprintf(interp_s, sizeof(interp_s), "%.3f", r.interp.seconds);
+    std::snprintf(comp_s, sizeof(comp_s), "%.3f", r.compiled.seconds);
     std::snprintf(ns, sizeof(ns), "%.3f", r.NsPerCycle());
     std::snprintf(rps, sizeof(rps), "%.1f", r.RunsPerSec());
-    t.AddRow({r.name, std::to_string(r.runs), ref_s, opt_s, Table::Ratio(r.Speedup()), ns,
-              rps, r.identical() ? "yes" : "NO"});
+    t.AddRow({r.name, std::to_string(r.runs), ref_s, interp_s, comp_s,
+              Table::Ratio(r.Speedup()), Table::Ratio(r.InterpSpeedup()), ns, rps,
+              r.identical() ? "yes" : "NO"});
   }
   std::printf("\n");
   if (flags.csv) {
@@ -413,10 +449,13 @@ int main(int argc, char** argv) {
     all_identical = all_identical && r.identical();
   }
   if (!all_identical) {
-    std::printf("SELF-CHECK FAILED: reference and optimised outputs differ.\n");
+    std::printf("SELF-CHECK FAILED: reference, interpreter and compiled outputs differ.\n");
     return 1;
   }
-  std::printf("Self-check passed: all modelled outputs bit-identical across paths\n");
-  std::printf("and with telemetry on vs off.\n");
+  std::printf(
+      "Self-check passed: all modelled outputs bit-identical across the\n"
+      "reference, interpreter and compiled (%s) paths and with telemetry on\n"
+      "vs off.\n",
+      CompiledProgram::DispatchName());
   return 0;
 }

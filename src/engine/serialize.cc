@@ -214,7 +214,9 @@ std::vector<std::uint8_t> StateSerializer::SerializeSystem(const System& sys) {
 
   const auto write_cache = [&w](const Cache& c) {
     w.U32(static_cast<std::uint32_t>(c.tags_.size()));
-    for (const Addr t : c.tags_) {
+    // Tags are stored 32-bit in memory but stay 64-bit on the wire; the
+    // all-ones invalid sentinel round-trips through the truncating decode.
+    for (const std::uint32_t t : c.tags_) {
       w.U64(t);
     }
     w.U32(static_cast<std::uint32_t>(c.rr_next_.size()));
@@ -518,8 +520,8 @@ std::unique_ptr<System> StateSerializer::DeserializeSystem(const std::uint8_t* d
       if (n_tags != c.tags_.size()) {
         Bad("cache tag count disagrees with geometry");
       }
-      for (Addr& t : c.tags_) {
-        t = r.U64();
+      for (std::uint32_t& t : c.tags_) {
+        t = static_cast<std::uint32_t>(r.U64());
       }
       const std::uint32_t n_rr = CheckedCount(r, r.U32(), 4, "cache rr pointer");
       if (n_rr != c.rr_next_.size()) {
@@ -533,6 +535,9 @@ std::unique_ptr<System> StateSerializer::DeserializeSystem(const std::uint8_t* d
       }
       c.locked_ways_ = r.U32();
       c.lfsr_ = r.U64();
+      // The restore rewrote tags_: advance the line-state generation so any
+      // hit memo keyed on the old contents (Cache::Gen) is invalidated.
+      c.gen_++;
       c.stats_.accesses = r.U64();
       c.stats_.hits = r.U64();
       c.stats_.misses = r.U64();
@@ -575,7 +580,7 @@ std::unique_ptr<System> StateSerializer::DeserializeSystem(const std::uint8_t* d
     auto kernel = std::make_unique<Kernel>(kc, machine.get());
     Kernel& k = *kernel;
     k.exec_.set_charge_mode(
-        static_cast<Executor::ChargeMode>(CheckedEnum(r.U8(), 2, "ChargeMode")));
+        static_cast<Executor::ChargeMode>(CheckedEnum(r.U8(), 3, "ChargeMode")));
     k.alloc_next_ = r.U64();
     k.bitmap_l1_ = r.U32();
     for (std::uint32_t& b : k.bitmap_l2_) {
@@ -885,7 +890,7 @@ std::uint64_t StateSerializer::KernelImageDigest(const KernelConfig& config) {
   WireWriter w;
   w.U32(kSystemImageVersion);
   WriteKernelConfig(w, config);
-  const std::unique_ptr<KernelImage> image = BuildKernelImage(config);
+  const std::shared_ptr<const KernelImage> image = SharedKernelImage(config);
   const Program& prog = image->prog;
   w.U64(prog.num_blocks());
   w.U64(prog.text_bytes());

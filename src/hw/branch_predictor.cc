@@ -30,41 +30,7 @@ Cycles BranchPredictor::OnBranchReference(Addr pc, BranchKind kind, bool taken) 
 }
 
 Cycles BranchPredictor::OnBranchEnabled(Addr pc, BranchKind kind, bool taken) {
-  // Unconditional branches and returns hit the BTB / return stack; model them
-  // as predicted correctly after first sight.
-  Entry& e = btb_[pc % btb_.size()];
-  const bool seen = e.valid && e.pc == pc;
-  if (kind == BranchKind::kDirect || kind == BranchKind::kReturn) {
-    e.pc = pc;
-    e.valid = true;
-    if (seen) {
-      return config_.correct_taken;
-    }
-    mispredicts_++;
-    return config_.mispredict;
-  }
-  // Conditional: 2-bit saturating counter.
-  bool predicted_taken = false;
-  if (seen) {
-    predicted_taken = e.counter >= 2;
-  } else {
-    e.pc = pc;
-    e.valid = true;
-    e.counter = 1;
-  }
-  Cycles cost;
-  if (seen && predicted_taken == taken) {
-    cost = taken ? config_.correct_taken : config_.correct_not_taken;
-  } else {
-    mispredicts_++;
-    cost = config_.mispredict;
-  }
-  if (taken && e.counter < 3) {
-    e.counter++;
-  } else if (!taken && e.counter > 0) {
-    e.counter--;
-  }
-  return cost;
+  return OnBranchEnabledAt(static_cast<std::uint32_t>(pc % btb_.size()), pc, kind, taken);
 }
 
 }  // namespace pmk

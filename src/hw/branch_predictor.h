@@ -53,6 +53,20 @@ class BranchPredictor {
     return OnBranchEnabled(pc, kind, taken);
   }
 
+  // Slot-folded variant for the compiled executor backend: |slot| must equal
+  // pc % btb_entries (the compiled stream precomputes it per block at
+  // Program::CompiledFor time, removing the modulo from the hot path).
+  // Identical outcome and state transitions to OnBranch(pc, kind, taken).
+  Cycles OnBranchSlot(std::uint32_t slot, Addr pc, BranchKind kind, bool taken) {
+    if (kind == BranchKind::kNone) {
+      return 0;
+    }
+    if (!config_.enabled) {
+      return config_.disabled_cost;
+    }
+    return OnBranchEnabledAt(slot, pc, kind, taken);
+  }
+
   // Benchmark reference path: identical outcome to OnBranch but out of line,
   // the seed's per-branch call cost.
   Cycles OnBranchReference(Addr pc, BranchKind kind, bool taken);
@@ -67,6 +81,46 @@ class BranchPredictor {
 
   // BTB/counter update for the predictor-enabled configuration.
   Cycles OnBranchEnabled(Addr pc, BranchKind kind, bool taken);
+
+  // Body of the update with the BTB slot already computed. Inline: the
+  // compiled executor charges one of these per block transition.
+  Cycles OnBranchEnabledAt(std::uint32_t slot, Addr pc, BranchKind kind, bool taken) {
+    // Unconditional branches and returns hit the BTB / return stack; model
+    // them as predicted correctly after first sight.
+    Entry& e = btb_[slot];
+    const bool seen = e.valid && e.pc == pc;
+    if (kind == BranchKind::kDirect || kind == BranchKind::kReturn) {
+      e.pc = pc;
+      e.valid = true;
+      if (seen) {
+        return config_.correct_taken;
+      }
+      mispredicts_++;
+      return config_.mispredict;
+    }
+    // Conditional: 2-bit saturating counter.
+    bool predicted_taken = false;
+    if (seen) {
+      predicted_taken = e.counter >= 2;
+    } else {
+      e.pc = pc;
+      e.valid = true;
+      e.counter = 1;
+    }
+    Cycles cost;
+    if (seen && predicted_taken == taken) {
+      cost = taken ? config_.correct_taken : config_.correct_not_taken;
+    } else {
+      mispredicts_++;
+      cost = config_.mispredict;
+    }
+    if (taken && e.counter < 3) {
+      e.counter++;
+    } else if (!taken && e.counter > 0) {
+      e.counter--;
+    }
+    return cost;
+  }
 
   struct Entry {
     Addr pc = 0;

@@ -86,14 +86,16 @@ bool Cache::AccessReference(Addr addr) {
   const std::uint32_t victim = PickVictim<0>(set);
   ref_lines_[base + victim].tag = tag;
   ref_lines_[base + victim].valid = true;
-  tags_[base + victim] = tag;
+  tags_[base + victim] = NarrowTag(tag);
+  gen_++;
   return false;
 }
 
 void Cache::InstallLine(Addr addr, std::uint32_t way) {
   assert(way < ways_);
   const std::size_t idx = static_cast<std::size_t>(SetIndexOf(addr)) * ways_ + way;
-  tags_[idx] = TagOf(addr);
+  tags_[idx] = NarrowTag(TagOf(addr));
+  gen_++;
   if (!ref_lines_.empty()) {
     ref_lines_[idx] = {TagOf(addr), true};
   }
@@ -112,6 +114,7 @@ void Cache::UnlockWay(std::uint32_t way) {
 void Cache::InvalidateAll() {
   std::fill(tags_.begin(), tags_.end(), kInvalidTag);
   std::fill(ref_lines_.begin(), ref_lines_.end(), RefLine{});
+  gen_++;
 }
 
 void Cache::Pollute(Addr garbage_base, double fraction) {
@@ -131,12 +134,13 @@ void Cache::Pollute(Addr garbage_base, double fraction) {
       }
       const Addr addr = garbage_base +
                         (static_cast<Addr>(w) * num_sets_ + set) * config_.line_bytes;
-      tags_[base + w] = TagOf(addr);
+      tags_[base + w] = NarrowTag(TagOf(addr));
       if (!ref_lines_.empty()) {
         ref_lines_[base + w] = {TagOf(addr), true};
       }
     }
   }
+  gen_++;
 }
 
 void Cache::SyncRefMirror() {

@@ -6,9 +6,14 @@
 // how the paper pins the interrupt-delivery path into 1/4 of each L1 cache
 // (Section 4).
 //
-// Hot-path layout: the line array is a flat tag array (way-major within a
-// set) where an invalid line holds the unreachable sentinel kInvalidTag, so
-// residency needs no separate valid bit — one load and one compare per way.
+// Hot-path layout: the line array is a flat array of 32-bit tags (way-major
+// within a set) where an invalid line holds the unreachable sentinel
+// kInvalidTag, so residency needs no separate valid bit — one load and one
+// compare per way. Tags fit 32 bits because every modelled address is below
+// 2^31 (128 MiB of RAM plus the fixed pollution bases); narrow tags halve
+// the tag-array footprint (the 128 KiB L2's array drops from 256 KiB to
+// 128 KiB of host memory, which streaming workloads sweep every pass) and
+// let the 4/8-way scans compare a whole set in one or two SSE2 loads.
 // The geometry is reduced to shifts and masks validated at construction, so
 // a lookup is a handful of loads with no divisions. Every simulated memory
 // access in the repository funnels through Access()/AccessLine(); they are
@@ -18,9 +23,14 @@
 #ifndef SRC_HW_CACHE_H_
 #define SRC_HW_CACHE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace pmk {
 
@@ -78,12 +88,104 @@ class Cache {
   // the tag scan.
   bool AccessLine(std::uint32_t set, Addr tag) {
     if (ways_ == 4) {
-      return AccessLineImpl<4>(set, tag);
+      return AccessLineImpl<4, true>(set, tag);
     }
     if (ways_ == 8) {
-      return AccessLineImpl<8>(set, tag);
+      return AccessLineImpl<8, true>(set, tag);
     }
-    return AccessLineImpl<0>(set, tag);
+    return AccessLineImpl<0, true>(set, tag);
+  }
+
+  // Stats-deferred lookup for batching callers (Machine::DataAccessRun and
+  // the compiled executor streams, src/kir/compiled.h): identical line-state
+  // transitions to AccessLine(), but CacheStats is left untouched — the
+  // caller tallies accesses/misses locally and flushes once per batch via
+  // AddStats(). Every access increments exactly one of hits/misses, so
+  // AddStats(n, misses) with hits = n - misses reproduces the per-access
+  // counters exactly.
+  bool AccessLineNoStats(std::uint32_t set, Addr tag) {
+    if (ways_ == 4) {
+      return AccessLineImpl<4, false>(set, tag);
+    }
+    if (ways_ == 8) {
+      return AccessLineImpl<8, false>(set, tag);
+    }
+    return AccessLineImpl<0, false>(set, tag);
+  }
+
+  // True when SweepLines() below may replace a per-access AccessLineNoStats
+  // loop: the SSE2 fast-scan geometry (4-way), the round-robin victim fast
+  // path (nothing locked), and the tags fitting one 16-byte group per set.
+  bool SweepEligible() const {
+#if defined(__SSE2__)
+    return ways_ == 4 && locked_ways_ == 0 &&
+           config_.policy == ReplacementPolicy::kRoundRobin;
+#else
+    return false;
+#endif
+  }
+
+  // Streaming batch probe: |count| accesses at base, base + line, base +
+  // 2*line, ... — one access per consecutive cache line, the shape of the
+  // kernel's object-clearing loops (Machine::DataAccessRun with stride ==
+  // line_bytes). State transitions and miss outcomes are identical to the
+  // equivalent AccessLineNoStats loop; stats stay deferred to the caller.
+  // Returns the number of misses and writes their addresses to |missed|
+  // (capacity >= count). Caller must check SweepEligible().
+  //
+  // Consecutive lines occupy consecutive sets, so the probe walks the tag
+  // array linearly, 16 bytes per access, and the tag is constant until the
+  // set index wraps: addr mod (line * num_sets) < line exactly when the set
+  // wraps to zero, for any base alignment. That removes the per-access
+  // set/tag arithmetic of the generic loop; the SSE compare is unchanged.
+  std::uint32_t SweepLines(Addr base, std::uint32_t count, Addr* missed) {
+#if defined(__SSE2__)
+    const Addr line = config_.line_bytes;
+    std::uint32_t set = SetIndexOf(base);
+    Addr tag = TagOf(base);
+    __m128i vtag = _mm_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(tag)));
+    std::uint32_t n_missed = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t* group = tags_.data() + static_cast<std::size_t>(set) * 4;
+      const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(group));
+      if (_mm_movemask_epi8(_mm_cmpeq_epi32(v, vtag)) == 0) {
+        // Miss: round-robin install, as PickVictim with no locked ways.
+        const std::uint32_t w = rr_next_[set];
+        rr_next_[set] = w + 1 == 4 ? 0 : w + 1;
+        group[w] = NarrowTag(tag);
+        gen_++;
+        missed[n_missed++] = base + static_cast<Addr>(i) * line;
+      }
+      if (++set == num_sets_) {
+        set = 0;
+        ++tag;
+        vtag = _mm_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(tag)));
+      }
+    }
+    return n_missed;
+#else
+    (void)base;
+    (void)count;
+    (void)missed;
+    return 0;  // unreachable: SweepEligible() is false without SSE2
+#endif
+  }
+
+  // Hints the host CPU to load |set|'s tag group ahead of an AccessLine call.
+  // Batching callers (Machine::DataAccessRun) probe runs of sets and can hide
+  // the tag-array load latency by prefetching the next probe's set. No
+  // modelled effect whatsoever.
+  void PrefetchSet(std::uint32_t set) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&tags_[static_cast<std::size_t>(set) * ways_]);
+#endif
+  }
+
+  // Batched statistics flush paired with AccessLineNoStats().
+  void AddStats(std::uint64_t accesses, std::uint64_t misses) {
+    stats_.accesses += accesses;
+    stats_.hits += accesses - misses;
+    stats_.misses += misses;
   }
 
   // Returns true if |addr|'s line is currently resident (no state change).
@@ -131,6 +233,14 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  // Line-state generation: incremented whenever any line's residency can
+  // change — an allocating miss, InstallLine, InvalidateAll, Pollute, or a
+  // state restore. Hits never mutate line state (replacement metadata only
+  // moves on installs), so a probe set that fully hit at generation G keeps
+  // hitting, with zero state change, for as long as Gen() == G. The compiled
+  // executor memoises per-block I-fetch outcomes on this.
+  std::uint64_t Gen() const { return gen_; }
+
   std::uint32_t SetIndexOf(Addr addr) const {
     return static_cast<std::uint32_t>((addr >> line_shift_) & set_mask_);
   }
@@ -139,26 +249,72 @@ class Cache {
  private:
   friend class engine::StateSerializer;
 
-  // Way-count-specialised lookup body; |kWays| == 0 means runtime ways_.
+  // True if |tag| is resident in the |ways|-tag group at |base|. The 4- and
+  // 8-way groups (the two modelled geometries) are compared whole with SSE2
+  // — 16-byte loads, no data-dependent way-index branches. Tags are unique
+  // within a set (installs happen only after a full-scan miss), so "any lane
+  // equal" is exactly "hit"; a probe tag that exceeded 32 bits could alias
+  // under the lane truncation, but modelled addresses are bounded below 2^31
+  // (asserted at install time).
   template <std::uint32_t kWays>
-  bool AccessLineImpl(std::uint32_t set, Addr tag) {
+  bool ScanWays(std::size_t base, Addr tag) const {
+#if defined(__SSE2__)
+    if constexpr (kWays == 4 || kWays == 8) {
+      const __m128i t = _mm_set1_epi32(static_cast<int>(static_cast<std::uint32_t>(tag)));
+      const __m128i v0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags_.data() + base));
+      __m128i eq = _mm_cmpeq_epi32(v0, t);
+      if constexpr (kWays == 8) {
+        const __m128i v1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(tags_.data() + base + 4));
+        eq = _mm_or_si128(eq, _mm_cmpeq_epi32(v1, t));
+      }
+      return _mm_movemask_epi8(eq) != 0;
+    }
+#endif
     const std::uint32_t ways = kWays != 0 ? kWays : ways_;
-    stats_.accesses++;
-    const std::size_t base = static_cast<std::size_t>(set) * ways;
     for (std::uint32_t w = 0; w < ways; ++w) {
       if (tags_[base + w] == tag) {
-        stats_.hits++;
         return true;
       }
     }
-    stats_.misses++;
+    return false;
+  }
+
+  // Way-count-specialised lookup body; |kWays| == 0 means runtime ways_,
+  // |kStats| == false defers CacheStats to the caller (AccessLineNoStats).
+  template <std::uint32_t kWays, bool kStats>
+  bool AccessLineImpl(std::uint32_t set, Addr tag) {
+    const std::uint32_t ways = kWays != 0 ? kWays : ways_;
+    if constexpr (kStats) {
+      stats_.accesses++;
+    }
+    const std::size_t base = static_cast<std::size_t>(set) * ways;
+    if (ScanWays<kWays>(base, tag)) {
+      if constexpr (kStats) {
+        stats_.hits++;
+      }
+      return true;
+    }
+    if constexpr (kStats) {
+      stats_.misses++;
+    }
     // Allocate, unless every way is locked (then the line bypasses the cache).
     if ((locked_ways_ & all_ways_mask_) == all_ways_mask_) {
       return false;
     }
     const std::uint32_t victim = PickVictim<kWays>(set);
-    tags_[base + victim] = tag;
+    tags_[base + victim] = NarrowTag(tag);
+    gen_++;
     return false;
+  }
+
+  // Narrows a tag to its 32-bit stored form. Lossless for every modelled
+  // address (all below 2^31); the assert guards the invariant in debug
+  // builds. kInvalidTag is reserved for invalid lines.
+  static std::uint32_t NarrowTag(Addr tag) {
+    assert(tag < kInvalidTag);
+    return static_cast<std::uint32_t>(tag);
   }
 
   // Chooses the victim way among unlocked ways for |set|. Inline: allocating
@@ -208,13 +364,13 @@ class Cache {
   std::uint64_t set_mask_;        // num_sets - 1
   std::uint32_t all_ways_mask_;   // (1 << ways) - 1 (saturated at 32 ways)
   // Tag of an invalid (non-resident) line. Unreachable by construction: a
-  // real line's tag is addr >> tag_shift_, and no modelled address has all
-  // upper bits set.
-  static constexpr Addr kInvalidTag = ~Addr{0};
+  // real line's tag is addr >> tag_shift_, and every modelled address is
+  // below 2^31, so no real tag has all 32 stored bits set.
+  static constexpr std::uint32_t kInvalidTag = ~std::uint32_t{0};
 
-  // Flat line array: num_sets * ways tags, way-major within a set
+  // Flat line array: num_sets * ways 32-bit tags, way-major within a set
   // (index = set * ways + way). Invalid lines hold kInvalidTag.
-  std::vector<Addr> tags_;
+  std::vector<std::uint32_t> tags_;
   // Seed-layout mirror for AccessReference: the pre-optimisation
   // array-of-structs line array. Sized only when the process is in reference
   // mode (empty otherwise, so clones copy nothing); every cold mutator that
@@ -227,6 +383,7 @@ class Cache {
   std::vector<std::uint32_t> rr_next_;  // per-set round-robin pointer
   std::uint32_t locked_ways_ = 0;       // bitmask of locked ways
   std::uint64_t lfsr_ = 0xACE1u;        // pseudo-random replacement state
+  std::uint64_t gen_ = 1;               // line-state generation, see Gen()
   CacheStats stats_;
 };
 

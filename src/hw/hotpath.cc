@@ -6,10 +6,15 @@ namespace pmk::hotpath {
 
 namespace {
 std::atomic<bool> g_reference_mode{false};
+std::atomic<bool> g_compiled_mode{true};
 }  // namespace
 
 void SetReferenceMode(bool on) { g_reference_mode.store(on, std::memory_order_relaxed); }
 
 bool ReferenceMode() { return g_reference_mode.load(std::memory_order_relaxed); }
+
+void SetCompiledMode(bool on) { g_compiled_mode.store(on, std::memory_order_relaxed); }
+
+bool CompiledMode() { return g_compiled_mode.load(std::memory_order_relaxed); }
 
 }  // namespace pmk::hotpath

@@ -25,6 +25,14 @@ namespace pmk::hotpath {
 void SetReferenceMode(bool on);
 bool ReferenceMode();
 
+// When off, newly constructed Executors skip the compiled threaded-code
+// backend (src/kir/compiled.h) and charge through the record-walking
+// interpreter (kPrepared/kGeneric) instead. Defaults to on; reference mode
+// takes precedence over both. Like SetReferenceMode, only flip this between
+// whole workloads.
+void SetCompiledMode(bool on);
+bool CompiledMode();
+
 }  // namespace pmk::hotpath
 
 #endif  // SRC_HW_HOTPATH_H_

@@ -140,8 +140,152 @@ class Machine {
   // BranchPredictor::OnBranchReference. Identical state transitions.
   void BranchReference(Addr pc, BranchKind kind, bool taken);
 
+  // Branch with the BTB slot precomputed (slot == pc % btb_entries); the
+  // compiled executor backend folds the modulo at Program::CompiledFor time.
+  // Identical charging and state transitions to Branch().
+  void BranchSlot(std::uint32_t slot, Addr pc, BranchKind kind, bool taken) {
+    if (kind != BranchKind::kNone) {
+      counters_.branches++;
+    }
+    const std::uint64_t mp_before = bpred_.mispredicts();
+    const Cycles cost = bpred_.OnBranchSlot(slot, pc, kind, taken);
+    counters_.branch_mispredicts += bpred_.mispredicts() - mp_before;
+    Advance(cost);
+  }
+
   // Charges |n| raw cycles (e.g. coprocessor operations, TLB maintenance).
   void RawCycles(Cycles n) { Advance(n); }
+
+  // --- Batched charging (compiled executor backend, src/kir/compiled) ---
+
+  // Accumulated PMU-counter deltas and cycle cost of one charge batch (a
+  // compiled block's stream, or one DataAccessRun). Equivalent, summed, to
+  // the per-access counter updates and Advance() calls of the incremental
+  // entries above: counter totals are order-independent sums, and fusing the
+  // intra-batch Advance() calls is observable nowhere — the interval timer
+  // asserts at its scheduled deadline (IntervalTimer::Tick), not at the
+  // cycle count that crossed it, and all observers (fault hooks, trace
+  // windows, preemption polls) run at batch boundaries.
+  struct ChargeDelta {
+    Cycles cost = 0;
+    std::uint32_t instructions = 0;
+    std::uint32_t l1i_accesses = 0;
+    std::uint32_t l1i_misses = 0;
+    std::uint32_t l1d_accesses = 0;
+    std::uint32_t l1d_misses = 0;
+    std::uint32_t l2_accesses = 0;
+    std::uint32_t l2_misses = 0;
+    std::uint64_t mem_stall = 0;
+  };
+
+  // Applies one batch: counter flush plus a single Advance(). The caller is
+  // responsible for the matching Cache::AddStats() flushes.
+  void ApplyChargeDelta(const ChargeDelta& d) {
+    counters_.instructions += d.instructions;
+    counters_.l1i_accesses += d.l1i_accesses;
+    counters_.l1i_misses += d.l1i_misses;
+    counters_.l1d_accesses += d.l1d_accesses;
+    counters_.l1d_misses += d.l1d_misses;
+    counters_.l2_accesses += d.l2_accesses;
+    counters_.l2_misses += d.l2_misses;
+    counters_.mem_stall_cycles += d.mem_stall;
+    Advance(d.cost);
+  }
+
+  // Deferred path accounting (compiled executor backend): PMU-counter and
+  // cache-statistics deltas accumulated across a whole kernel path and
+  // flushed once at path end (Executor::End) instead of once per block.
+  // Cycle advancement is NOT deferred — every charge entry still calls
+  // Advance() immediately, so Now(), timer assertions and preemption
+  // visibility are exact at every block boundary. Counters and stats are
+  // order-independent sums with no mid-path reader (PMU snapshots are taken
+  // between paths; trace-sink block windows force the eager path), so the
+  // single flush is observationally identical.
+  struct PathTally {
+    std::uint64_t instructions = 0;
+    std::uint64_t l1i_accesses = 0;
+    std::uint64_t l1i_misses = 0;
+    std::uint64_t l1d_accesses = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t l2_accesses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t branch_mispredicts = 0;
+    std::uint64_t mem_stall_cycles = 0;
+  };
+
+  // Flushes one path's accumulated deltas: PMU counters plus the matching
+  // per-cache statistics (the tally's access/miss fields double as the
+  // Cache::AddStats arguments — the charge entries count both from the same
+  // probes).
+  void ApplyPathTally(const PathTally& t) {
+    counters_.instructions += t.instructions;
+    counters_.l1i_accesses += t.l1i_accesses;
+    counters_.l1i_misses += t.l1i_misses;
+    counters_.l1d_accesses += t.l1d_accesses;
+    counters_.l1d_misses += t.l1d_misses;
+    counters_.l2_accesses += t.l2_accesses;
+    counters_.l2_misses += t.l2_misses;
+    counters_.branches += t.branches;
+    counters_.branch_mispredicts += t.branch_mispredicts;
+    counters_.mem_stall_cycles += t.mem_stall_cycles;
+    if (t.l1i_accesses != 0) {
+      l1i_.AddStats(t.l1i_accesses, t.l1i_misses);
+    }
+    if (t.l1d_accesses != 0) {
+      l1d_.AddStats(t.l1d_accesses, t.l1d_misses);
+    }
+    if (t.l2_accesses != 0) {
+      l2_.AddStats(t.l2_accesses, t.l2_misses);
+    }
+  }
+
+  // BranchSlot twin that defers the two counter updates into |t|. Predictor
+  // state (BTB, internal mispredict count) and Advance() stay immediate.
+  void BranchSlotTallied(std::uint32_t slot, Addr pc, BranchKind kind, bool taken,
+                         PathTally& t) {
+    if (kind != BranchKind::kNone) {
+      t.branches++;
+    }
+    const std::uint64_t mp_before = bpred_.mispredicts();
+    const Cycles cost = bpred_.OnBranchSlot(slot, pc, kind, taken);
+    t.branch_mispredicts += bpred_.mispredicts() - mp_before;
+    Advance(cost);
+  }
+
+  // DataAccess twin with counters and cache stats deferred into |t|.
+  void DataAccessTallied(Addr addr, bool write, PathTally& t) {
+    (void)write;  // write-allocate: same penalty either way
+    Cycles cost = config_.memory.load_use_stall;
+    t.l1d_accesses++;
+    if (!l1d_.AccessLineNoStats(l1d_.SetIndexOf(addr), l1d_.TagOf(addr))) {
+      t.l1d_misses++;
+      Cycles penalty;
+      if (!config_.l2_enabled) {
+        penalty = config_.memory.mem_latency_l2_off;
+      } else {
+        t.l2_accesses++;
+        if (l2_.AccessLineNoStats(l2_.SetIndexOf(addr), l2_.TagOf(addr))) {
+          penalty = config_.memory.l2_hit_latency;
+        } else {
+          t.l2_misses++;
+          penalty = config_.memory.mem_latency_l2_on;
+        }
+      }
+      t.mem_stall_cycles += penalty;
+      cost += penalty;
+    }
+    Advance(cost);
+  }
+
+  // |count| data accesses at base, base+stride, ... — the object-clearing
+  // loops of the kernel issue these as one call instead of one DataAccess
+  // per modelled line. Identical modelled state to the per-access loop
+  // (see ChargeDelta above for why the fused Advance is safe). With |tally|
+  // set, counters and cache stats land in the tally instead of the machine
+  // (deferred path accounting above).
+  void DataAccessRun(Addr base, std::uint32_t count, std::uint32_t stride, bool write,
+                     PathTally* tally = nullptr);
 
   // --- Cache pinning (paper Section 4) ---
 

@@ -98,6 +98,10 @@ struct KernelConfig {
 
   // The paper's improved kernel (pinning is orthogonal; see Table 1).
   static KernelConfig After() { return KernelConfig{}; }
+
+  // Memberwise equality keys the process-wide kernel-image cache
+  // (SharedKernelImage): equal configs build byte-identical images.
+  friend bool operator==(const KernelConfig&, const KernelConfig&) = default;
 };
 
 }  // namespace pmk

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
+#include <vector>
 
 #include "src/kernel/objects.h"
 
@@ -1296,6 +1299,24 @@ PinnedLines SelectPinnedLines(const KernelImage& image, std::uint32_t line_bytes
     }
   }
   return out;
+}
+
+std::shared_ptr<const KernelImage> SharedKernelImage(const KernelConfig& config) {
+  // A flat list suffices: a process touches a handful of distinct configs
+  // (the ablation sweep's single-switch variants at most), so linear scan
+  // under a mutex is cheaper than hashing the whole struct.
+  static std::mutex mu;
+  static std::vector<std::shared_ptr<const KernelImage>>* cache =
+      new std::vector<std::shared_ptr<const KernelImage>>();
+  std::lock_guard<std::mutex> lock(mu);
+  for (const auto& img : *cache) {
+    if (img->config == config) {
+      return img;
+    }
+  }
+  std::shared_ptr<const KernelImage> img = BuildKernelImage(config);
+  cache->push_back(img);
+  return img;
 }
 
 }  // namespace pmk

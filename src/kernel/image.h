@@ -519,6 +519,15 @@ struct KernelImage {
 // Builds and lays out the kernel image for |config|.
 std::unique_ptr<KernelImage> BuildKernelImage(const KernelConfig& config);
 
+// Process-wide memoisation of BuildKernelImage. Image construction is
+// deterministic in |config| and the result is immutable, so every Kernel
+// with an equal config can share one image — and, through it, one Program
+// and one compiled-program cache — instead of re-building and re-compiling
+// per System (sweep and campaign workloads construct hundreds of Systems
+// per run). Thread-safe; the handful of distinct configs a process ever
+// uses stay cached until exit.
+std::shared_ptr<const KernelImage> SharedKernelImage(const KernelConfig& config);
+
 // Selects the I- and D-cache lines pinned by the Section 4 configuration:
 // the interrupt-delivery path's code plus hot globals and the top of the
 // kernel stack. Shared by the kernel runtime (which locks them into the

@@ -179,6 +179,10 @@ class Kernel {
   // Shorthand: announce a block.
   void x(BlockId id) { exec_.At(id); }
   void T(Addr addr, bool write = false) { exec_.Touch(addr, write); }
+  // Batched strided touches (clear loops): one executor call per chunk.
+  void TRun(Addr base, std::uint32_t count, std::uint32_t stride, bool write = false) {
+    exec_.TouchRun(base, count, stride, write);
+  }
   const KernelBlocks& b() const { return image_->b; }
 
   static bool Runnable(const TcbObj* t) {

@@ -104,6 +104,8 @@ std::uint8_t ObjSizeBits(ObjType type, std::uint8_t user_bits, const KernelConfi
 }
 
 KObject* ObjectTable::Insert(std::unique_ptr<KObject> obj) {
+  memo_base_ = kNoMemo;
+  memo_obj_ = nullptr;
   const Addr base = obj->base;
   const std::uint64_t size = obj->SizeBytes();
   if (base % size != 0) {
@@ -129,6 +131,8 @@ KObject* ObjectTable::Insert(std::unique_ptr<KObject> obj) {
 
 KObject* ObjectTable::InsertUnchecked(std::unique_ptr<KObject> obj) {
   const Addr base = obj->base;
+  memo_base_ = kNoMemo;
+  memo_obj_ = nullptr;
   if (obj->type == ObjType::kUntyped) {
     UntypedObj* raw = static_cast<UntypedObj*>(obj.release());
     untypeds_.emplace(base, std::unique_ptr<UntypedObj>(raw));
@@ -140,6 +144,8 @@ KObject* ObjectTable::InsertUnchecked(std::unique_ptr<KObject> obj) {
 }
 
 void ObjectTable::Remove(Addr base) {
+  memo_base_ = kNoMemo;
+  memo_obj_ = nullptr;
   if (const auto it = objects_.find(base); it != objects_.end()) {
     objects_.erase(it);
     return;
@@ -152,11 +158,18 @@ void ObjectTable::Remove(Addr base) {
 }
 
 KObject* ObjectTable::Find(Addr base) const {
+  if (base == memo_base_) {
+    return memo_obj_;
+  }
   if (const auto it = objects_.find(base); it != objects_.end()) {
-    return it->second.get();
+    memo_base_ = base;
+    memo_obj_ = it->second.get();
+    return memo_obj_;
   }
   if (const auto it = untypeds_.find(base); it != untypeds_.end()) {
-    return it->second.get();
+    memo_base_ = base;
+    memo_obj_ = it->second.get();
+    return memo_obj_;
   }
   return nullptr;
 }

@@ -273,6 +273,15 @@ class ObjectTable {
  private:
   std::map<Addr, std::unique_ptr<KObject>> objects_;
   std::map<Addr, std::unique_ptr<UntypedObj>> untypeds_;
+  // Single-entry lookup memo: syscall decode resolves the same capability
+  // object repeatedly (the invoked cap, the IRQ endpoint), so the last
+  // successful Find short-circuits most tree walks. Invalidated by every
+  // table mutation; no real object sits at ~0, so it doubles as the empty
+  // sentinel. The table is non-copyable (unique_ptr values), so the cached
+  // pointer can never leak into another table's memo.
+  static constexpr Addr kNoMemo = ~Addr{0};
+  mutable Addr memo_base_ = kNoMemo;
+  mutable KObject* memo_obj_ = nullptr;
 };
 
 }  // namespace pmk

@@ -151,9 +151,7 @@ OpStatus Kernel::UntypedRetype(CapSlot* ut_slot, const SyscallArgs& args) {
       }
       x(r.clear_chunk);
       const Addr chunk_base = ut->retype_base + ut->cleared_bytes;
-      for (std::uint32_t off = 0; off < chunk; off += 32) {
-        T(chunk_base + off, /*write=*/true);
-      }
+      TRun(chunk_base, (chunk + 31) / 32, 32, /*write=*/true);
       ut->cleared_bytes += chunk;
       T(ut->base, /*write=*/true);
       x(r.preempt);
@@ -185,9 +183,7 @@ OpStatus Kernel::UntypedRetype(CapSlot* ut_slot, const SyscallArgs& args) {
       }
       x(r.clear_chunk);
       const Addr chunk_base = ut->retype_base + ut->cleared_bytes;
-      for (std::uint32_t off = 0; off < chunk; off += 32) {
-        T(chunk_base + off, /*write=*/true);
-      }
+      TRun(chunk_base, (chunk + 31) / 32, 32, /*write=*/true);
       ut->cleared_bytes += chunk;
       T(ut->base, /*write=*/true);
     }

@@ -1,0 +1,17 @@
+// Dispatch-strategy selection for the compiled executor backend, shared by
+// the runner definition (executor.cc, beside its only caller so the compiler
+// can inline the dispatch loop into Executor::AtCompiled) and
+// CompiledProgram::DispatchName (compiled.cc): computed goto (one indirect
+// jump per op, no loop bookkeeping) on GCC/Clang; a portable switch loop
+// elsewhere. -DPMK_FORCE_SWITCH_DISPATCH (CMake option of the same name)
+// forces the switch loop on any compiler so CI can digest-gate both
+// strategies.
+
+#ifndef SRC_KIR_COMPILED_DISPATCH_H_
+#define SRC_KIR_COMPILED_DISPATCH_H_
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(PMK_FORCE_SWITCH_DISPATCH)
+#define PMK_COMPUTED_GOTO 1
+#endif
+
+#endif  // SRC_KIR_COMPILED_DISPATCH_H_

@@ -26,6 +26,8 @@
 namespace pmk {
 
 class TraceSink;
+class CompiledProgram;  // src/kir/compiled.h
+struct CompiledBlock;
 
 class ExecError : public std::logic_error {
  public:
@@ -52,38 +54,59 @@ class Executor {
  public:
   static constexpr std::size_t kNumRegs = 16;
 
-  // How block costs are charged to the machine. All three modes produce
+  // How block costs are charged to the machine. All modes produce
   // bit-identical modelled results (cycles, counters, cache state, traces);
   // they differ only in host-side cost. hotpath_equivalence_test verifies the
   // bit-identity.
   enum class ChargeMode : std::uint8_t {
-    // Iterate the Layout()-precomputed I-fetch spans and resolved static
-    // access addresses. Requires the machine's L1I line size to match
-    // Program::kPreparedLineBytes; selected automatically when it does.
+    // Interpreter: iterate the Layout()-precomputed I-fetch spans and
+    // resolved static access addresses. Requires the machine's L1I line size
+    // to match Program::kPreparedLineBytes; selected when it does and the
+    // compiled backend is off (hotpath::SetCompiledMode(false)).
     kPrepared,
-    // Recompute spans and resolve static accesses per execution. Fallback for
-    // non-standard cache geometry.
+    // Interpreter fallback: recompute spans and resolve static accesses per
+    // execution. Selected for non-standard cache geometry with the compiled
+    // backend off or uncompilable geometry.
     kGeneric,
     // Benchmark baseline: generic arithmetic through the out-of-line
     // division-based reference entries (Machine::InstrFetchReference /
     // DataAccessReference). Selected at construction when
     // pmk::hotpath::ReferenceMode() is on.
     kReference,
+    // Compiled threaded-code backend (src/kir/compiled.h): one indirect jump
+    // into the block's precompiled charge stream, cache geometry and BTB
+    // indices constant-folded per machine specialisation. The default.
+    kCompiled,
   };
 
   Executor(const Program* program, Machine* machine);
 
   ChargeMode charge_mode() const { return charge_mode_; }
-  void set_charge_mode(ChargeMode mode) { charge_mode_ = mode; }
+
+  // Switches the charging implementation. Validates the mode against the
+  // machine: kPrepared requires the L1I line size to match
+  // Program::kPreparedLineBytes (a mismatch would silently mischarge I-fetch
+  // spans), and kCompiled requires a compilable geometry; either violation
+  // throws ExecError naming the geometry. Selecting kCompiled (re)binds the
+  // program's specialisation for this machine.
+  void set_charge_mode(ChargeMode mode);
 
   // Starts a kernel path at |entry_func|'s entry block.
   void Begin(FuncId entry_func);
 
   // Announces execution of block |b| (charges fetch, static accesses, branch
-  // from the previous block, raw cycles; interprets register ops). In
-  // reference charge mode, dispatches to the out-of-line AtReference twin
-  // that replicates the seed implementation's per-edge cost.
-  void At(BlockId b);
+  // from the previous block, raw cycles; interprets register ops). Inline
+  // dispatch: the compiled backend is the default mode and this is called
+  // once per block, so the common case pays one predicted compare and a tail
+  // call into AtCompiled. Reference mode goes through the out-of-line
+  // AtReference twin that replicates the seed implementation's per-edge cost.
+  void At(BlockId b) {
+    if (charge_mode_ == ChargeMode::kCompiled) {
+      AtCompiled(b);
+      return;
+    }
+    AtInterpreted(b);
+  }
 
   // One dynamically-addressed data access within the current block. Inline:
   // object-clearing loops issue one Touch per modelled line, so this is the
@@ -97,7 +120,36 @@ class Executor {
       FailTouchOutsideBlock();
     }
     dyn_count_++;
-    machine_->DataAccess(addr, write);
+    if (charge_mode_ == ChargeMode::kCompiled && sink_ == nullptr) {
+      machine_->DataAccessTallied(addr, write, tally_);
+    } else {
+      machine_->DataAccess(addr, write);
+    }
+  }
+
+  // |count| dynamically-addressed accesses at base, base+stride, ... within
+  // the current block, charged as one batch (Machine::DataAccessRun): the
+  // kernel's object-clearing loops issue one call per chunk instead of one
+  // Touch per modelled line. Bit-identical to the equivalent Touch loop; in
+  // reference mode the loop is replayed per element to preserve the seed
+  // cost profile.
+  void TouchRun(Addr base, std::uint32_t count, std::uint32_t stride, bool write = false) {
+    if (count == 0) {
+      return;
+    }
+    if (charge_mode_ == ChargeMode::kReference) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        TouchReference(base + static_cast<Addr>(i) * stride, write);
+      }
+      return;
+    }
+    if (!in_path_ || cur_ == kNoBlock) {
+      FailTouchOutsideBlock();
+    }
+    dyn_count_ += count;
+    machine_->DataAccessRun(
+        base, count, stride, write,
+        charge_mode_ == ChargeMode::kCompiled && sink_ == nullptr ? &tally_ : nullptr);
   }
 
   // Injects a runtime value into register |reg| (a loop input). Validated
@@ -112,20 +164,36 @@ class Executor {
   BlockId CurrentBlock() const { return cur_; }
 
   // Trace recording (off by default).
-  void StartRecording() { recording_ = true; }
+  void StartRecording() {
+    recording_ = true;
+    RefreshPlainPath();
+  }
   Trace StopRecording();
 
   // Structured event tracing (src/obs): kernel entry/exit, per-block cycle
   // and cache-miss attribution, preemption-point hit/taken events. A null
   // sink (the default) reduces every instrumentation site to one pointer
-  // test; with or without a sink, no modelled cycles are charged.
-  void set_trace_sink(TraceSink* sink) { sink_ = sink; }
+  // test; with or without a sink, no modelled cycles are charged. Sink block
+  // windows read the machine's PMU counters at block boundaries, so a sink
+  // forces the eager per-block counter flush; attaching one mid-path first
+  // flushes the deferred tally so the first window starts from exact
+  // counters.
+  void set_trace_sink(TraceSink* sink) {
+    if (in_path_) {
+      FlushPathTally();
+    }
+    sink_ = sink;
+    RefreshPlainPath();
+  }
   TraceSink* trace_sink() const { return sink_; }
 
   // Fault-injection hook (off by default): invoked from At() for every block,
   // at zero modelled-cycle cost. See FaultHook above for the exact timing
   // contract relative to the kernel's PreemptPending() checks.
-  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  void set_fault_hook(FaultHook* hook) {
+    fault_hook_ = hook;
+    RefreshPlainPath();
+  }
   FaultHook* fault_hook() const { return fault_hook_; }
 
   const Program& program() const { return *program_; }
@@ -154,6 +222,29 @@ class Executor {
   // struct lookups, heap successor-vector walks, per-edge branch-PC
   // recomputation — with identical validation, hooks and state transitions.
   void AtReference(BlockId bid);
+  // Interpreter At body (kPrepared/kGeneric, and the kReference re-dispatch).
+  void AtInterpreted(BlockId bid);
+  // Compiled-mode At body: identical validation, hooks and state transitions
+  // to At(), with edge checks over the CompiledBlock record and block costs
+  // charged through the block's precompiled stream (CompiledProgram::Run).
+  void AtCompiled(BlockId bid);
+  // Flushes the deferred path tally (compiled mode, no sink) into the
+  // machine's counters and cache stats. Called at End(), before throwing
+  // from Fail(), and when a sink attaches mid-path. Harmless no-op sums in
+  // the eager modes, where the tally stays zero.
+  void FlushPathTally() const {
+    machine_->ApplyPathTally(tally_);
+    tally_ = Machine::PathTally{};
+  }
+  // Records the sim.exec.charge_mode{mode=...} labeled counter.
+  static void CountChargeMode(ChargeMode mode);
+  // Recomputes the cached plain_path_ flag (see its declaration).
+  void RefreshPlainPath() {
+    plain_path_ = sink_ == nullptr && fault_hook_ == nullptr && !recording_;
+  }
+  // Flushes blocks_pending_ into the sim.exec.blocks_charged counter; called
+  // from End() so the hot path pays one local increment per block.
+  void FlushBlocksCharged();
 
   struct Frame {
     BlockId resume = kNoBlock;
@@ -165,12 +256,27 @@ class Executor {
   Machine* machine_;
   ChargeMode charge_mode_;
 
+  // Compiled-backend specialisation for machine_'s geometry; bound at
+  // construction / set_charge_mode(kCompiled), null in other modes.
+  const CompiledProgram* compiled_ = nullptr;
+  // I-fetch memo, one slot per block: the machine's L1I line-state generation
+  // (Cache::Gen) at the last run in which the block's I-lines all hit, or 0.
+  // While the generation is unchanged the lines are still resident and the
+  // probes can be skipped bit-identically (CompiledBlock::hit_ops).
+  std::vector<std::uint64_t> iline_gen_;
+
   bool in_path_ = false;
   BlockId cur_ = kNoBlock;
   const Block* cur_block_ = nullptr;   // &program_->block(cur_), cached
   const HotBlock* cur_hot_ = nullptr;  // &program_->hot(cur_), cached
+  const CompiledBlock* cur_cblock_ = nullptr;  // &compiled_->block(cur_), cached
   FuncId entry_func_ = kNoFunc;
   std::uint32_t dyn_count_ = 0;
+  std::uint64_t blocks_pending_ = 0;  // blocks charged since the last flush
+  // Deferred path accounting (compiled mode, no sink): counter and cache-stat
+  // deltas for the in-flight path, flushed by FlushPathTally(). Mutable so
+  // the [[noreturn]] const Fail() can flush before throwing.
+  mutable Machine::PathTally tally_;
   std::vector<Frame> call_stack_;
   std::array<std::int64_t, kNumRegs> regs_{};
   std::uint16_t written_ = 0;
@@ -178,6 +284,11 @@ class Executor {
   bool recording_ = false;
   Trace trace_;
 
+  // True when no observer is attached (no sink, no fault hook, no trace
+  // recording) — the common campaign/bench configuration. AtCompiled's
+  // per-block observer tail then reduces to this single test; kept in sync
+  // by RefreshPlainPath() from every setter.
+  bool plain_path_ = true;
   TraceSink* sink_ = nullptr;
   FaultHook* fault_hook_ = nullptr;
   Cycles blk_start_cycle_ = 0;  // counter snapshot at current-block entry

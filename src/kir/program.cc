@@ -196,6 +196,24 @@ void Program::Layout() {
     h.cond = b.cond;
     hot_blocks_.push_back(h);
   }
+
+  // Flatten loop-input declarations per function for O(declared inputs)
+  // SetReg validation (see LoopInputDecl in program.h).
+  RebuildLoopInputs();
+
+  compiled_ = detail::NewCompiledCache();
+}
+
+void Program::RebuildLoopInputs() const {
+  func_loop_inputs_.assign(funcs_.size(), {});
+  for (const Function& f : funcs_) {
+    for (BlockId bid : f.blocks) {
+      for (const LoopInput& in : blocks_[bid].loop_inputs) {
+        func_loop_inputs_[f.id].push_back({in.reg, in.min, in.max, bid});
+      }
+    }
+  }
+  loop_inputs_stale_ = false;
 }
 
 Addr Program::ResolveStatic(const Block& b, const StaticAccess& a) const {

@@ -9,6 +9,7 @@
 #define SRC_KIR_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +17,14 @@
 #include "src/kir/block.h"
 
 namespace pmk {
+
+class CompiledProgram;
+struct MachineConfig;
+
+namespace detail {
+struct CompiledCache;
+std::shared_ptr<CompiledCache> NewCompiledCache();
+}  // namespace detail
 
 // Compact per-block execution descriptor, one flat array entry per Block,
 // built by Program::Layout(). The executor's inner loop reads only this
@@ -44,6 +53,17 @@ struct HotBlock {
   bool is_preemption_point = false;
   bool has_cond_semantics = false;
   BranchCond cond;
+};
+
+// One loop-input declaration of a function, flattened by Program::Layout()
+// into the per-function table Executor::SetReg validates against — O(declared
+// inputs) per injection instead of a walk over every block of the function.
+// |block| is the declaring loop-header block, kept for the error message.
+struct LoopInputDecl {
+  std::uint8_t reg = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  BlockId block = kNoBlock;
 };
 
 class Program {
@@ -80,12 +100,27 @@ class Program {
   bool laid_out() const { return laid_out_; }
 
   const Block& block(BlockId id) const { return blocks_[id]; }
-  Block& mutable_block(BlockId id) { return blocks_[id]; }
+  Block& mutable_block(BlockId id) {
+    // Post-layout mutation (a single-threaded test/bench affordance) may add
+    // or change loop-input declarations; mark the flattened table for a lazy
+    // rebuild so loop_inputs_of() stays in sync with the Block structs.
+    if (laid_out_) {
+      loop_inputs_stale_ = true;
+    }
+    return blocks_[id];
+  }
 
   // Hot-path views (valid after Layout()).
   const HotBlock& hot(BlockId id) const { return hot_blocks_[id]; }
   const PreparedAccess* prepared_pool() const { return prepared_pool_.data(); }
   const RegOp* regop_pool() const { return regop_pool_.data(); }
+  // All loop-input declarations of |f|, in block order (valid after Layout()).
+  const std::vector<LoopInputDecl>& loop_inputs_of(FuncId f) const {
+    if (loop_inputs_stale_) {
+      RebuildLoopInputs();
+    }
+    return func_loop_inputs_[f];
+  }
   const Function& function(FuncId id) const { return funcs_[id]; }
   const DataSymbol& symbol(SymId id) const { return syms_[id]; }
 
@@ -95,6 +130,13 @@ class Program {
 
   // Total text size in bytes (valid after Layout()).
   std::uint64_t text_bytes() const { return text_bytes_; }
+
+  // Returns the compiled-backend specialisation for |mc|'s machine geometry
+  // (src/kir/compiled.h), lowering the program on first use and caching one
+  // CompiledProgram per distinct geometry for the image's lifetime.
+  // Thread-safe: Programs are shared across cloned Systems and campaign
+  // worker threads; lookups are lock-free, builders serialise on a mutex.
+  const CompiledProgram* CompiledFor(const MachineConfig& mc) const;
 
   // Resolves a static access to its absolute address.
   Addr ResolveStatic(const Block& b, const StaticAccess& a) const;
@@ -106,6 +148,11 @@ class Program {
 
  private:
   std::uint32_t CallDepth(FuncId f, std::vector<int>& state) const;
+  // Reflattens func_loop_inputs_ from the Block structs (Layout(), and the
+  // lazy refresh after a post-layout mutable_block()). Mutation after layout
+  // is single-threaded by contract, so the lazy rebuild never races the
+  // shared-Program campaign readers — they only ever see a clean flag.
+  void RebuildLoopInputs() const;
 
   std::vector<Function> funcs_;
   std::vector<Block> blocks_;
@@ -113,8 +160,16 @@ class Program {
   std::vector<HotBlock> hot_blocks_;
   std::vector<PreparedAccess> prepared_pool_;
   std::vector<RegOp> regop_pool_;
+  // Flattened loop-input declarations, indexed by FuncId; rebuilt lazily when
+  // a post-layout mutable_block() may have changed the declarations.
+  mutable std::vector<std::vector<LoopInputDecl>> func_loop_inputs_;
+  mutable bool loop_inputs_stale_ = false;
   std::uint64_t text_bytes_ = 0;
   bool laid_out_ = false;
+  // Compiled-backend specialisations, created (empty) at Layout() time so the
+  // pointer itself is immutable once the Program is shared across threads;
+  // entries are added lazily by CompiledFor (defined in compiled.cc).
+  mutable std::shared_ptr<detail::CompiledCache> compiled_;
 };
 
 }  // namespace pmk

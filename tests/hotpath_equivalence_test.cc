@@ -39,6 +39,23 @@ class ReferenceModeGuard {
   bool prev_;
 };
 
+// Restores the process-wide compiled-backend flag on scope exit. Constructed
+// with false, it forces newly built Executors onto the record-walking
+// interpreter (kPrepared/kGeneric) instead of the compiled threaded-code
+// backend.
+class CompiledModeGuard {
+ public:
+  explicit CompiledModeGuard(bool on) : prev_(hotpath::CompiledMode()) {
+    hotpath::SetCompiledMode(on);
+  }
+  ~CompiledModeGuard() { hotpath::SetCompiledMode(prev_); }
+  CompiledModeGuard(const CompiledModeGuard&) = delete;
+  CompiledModeGuard& operator=(const CompiledModeGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 // Independent reimplementation of the pre-overhaul cache: array-of-structures
 // line storage and division-based set/tag arithmetic. Kept deliberately naive
 // — it is the differential-testing oracle, not a performance path.
@@ -405,9 +422,11 @@ struct KernelRunOutcome {
 
 // A campaign-shaped workload: the attacker retypes large frames under a
 // periodic timer, the operation preempts, restarts and completes, and the
-// real-time thread's interrupt latencies are recorded.
-KernelRunOutcome RunTimerPreemptWorkload() {
-  System sys(KernelConfig::After(), EvalMachine(true));
+// real-time thread's interrupt latencies are recorded. The machine geometry
+// is a parameter so the same digest can be compared across charge modes on
+// non-default cache configurations.
+KernelRunOutcome RunTimerPreemptWorkload(const MachineConfig& mc = EvalMachine(true)) {
+  System sys(KernelConfig::After(), mc);
   EndpointObj* timer_ep = nullptr;
   const std::uint32_t timer_cptr = sys.AddEndpoint(&timer_ep);
   TcbObj* rt_task = sys.AddThread(250);
@@ -481,8 +500,9 @@ void ExpectOutcomesEq(const KernelRunOutcome& a, const KernelRunOutcome& b) {
 }
 
 // The full kernel workload must be bit-identical between the optimised
-// (prepared) execution and the seed-profile reference execution: same final
-// cycle, same PMU counters, same cache statistics, same interrupt latencies.
+// (compiled, the default) execution and the seed-profile reference execution:
+// same final cycle, same PMU counters, same cache statistics, same interrupt
+// latencies.
 TEST(ExecutorEquivalence, ReferenceModeIsBitIdentical) {
   const KernelRunOutcome fast = RunTimerPreemptWorkload();
   KernelRunOutcome ref;
@@ -495,9 +515,30 @@ TEST(ExecutorEquivalence, ReferenceModeIsBitIdentical) {
   ExpectOutcomesEq(fast, ref);
 }
 
+// The compiled threaded-code backend must be the default on standard geometry
+// and must match the record-walking interpreter digest-for-digest on the full
+// preempting workload.
+TEST(ExecutorEquivalence, CompiledBackendMatchesInterpreter) {
+  {
+    System sys(KernelConfig::After(), EvalMachine(true));
+    ASSERT_EQ(sys.kernel().exec().charge_mode(), Executor::ChargeMode::kCompiled);
+  }
+  const KernelRunOutcome compiled = RunTimerPreemptWorkload();
+  KernelRunOutcome interp;
+  {
+    CompiledModeGuard guard(false);
+    System sys(KernelConfig::After(), EvalMachine(true));
+    ASSERT_EQ(sys.kernel().exec().charge_mode(), Executor::ChargeMode::kPrepared);
+    interp = RunTimerPreemptWorkload();
+  }
+  EXPECT_GT(compiled.preemptions, 0u);
+  ExpectOutcomesEq(compiled, interp);
+}
+
 // The generic (per-execution resolution) charge path must also match the
-// prepared path; it is the fallback for non-32-byte L1I lines.
+// prepared path; it is the interpreter fallback for non-32-byte L1I lines.
 TEST(ExecutorEquivalence, GenericChargeModeIsBitIdentical) {
+  CompiledModeGuard guard(false);  // exercise the interpreter modes
   System prepared(KernelConfig::After(), EvalMachine(false));
   System generic(KernelConfig::After(), EvalMachine(false));
   ASSERT_EQ(prepared.kernel().exec().charge_mode(), Executor::ChargeMode::kPrepared);
@@ -515,6 +556,72 @@ TEST(ExecutorEquivalence, GenericChargeModeIsBitIdentical) {
             generic.machine().counters().l1i_misses);
   EXPECT_EQ(prepared.machine().counters().l1d_misses,
             generic.machine().counters().l1d_misses);
+}
+
+// A machine with 64-byte lines throughout (a non-kPreparedLineBytes geometry)
+// must select kGeneric with the compiled backend off and kCompiled with it
+// on, and both must reproduce the reference digest end-to-end on the full
+// preempting workload: same final cycle, PMU counters, cache statistics and
+// interrupt latencies.
+TEST(ExecutorEquivalence, WideLineGeometryMatchesReferenceEndToEnd) {
+  MachineConfig mc = EvalMachine(true);
+  mc.l1i.line_bytes = 64;
+  mc.l1d.line_bytes = 64;
+  mc.l2.line_bytes = 64;
+
+  KernelRunOutcome ref;
+  {
+    ReferenceModeGuard guard(true);
+    ref = RunTimerPreemptWorkload(mc);
+  }
+  EXPECT_FALSE(ref.irq_latencies.empty());
+  EXPECT_GT(ref.preemptions, 0u);
+
+  KernelRunOutcome generic;
+  {
+    CompiledModeGuard guard(false);
+    System probe(KernelConfig::After(), mc);
+    ASSERT_EQ(probe.kernel().exec().charge_mode(), Executor::ChargeMode::kGeneric);
+    generic = RunTimerPreemptWorkload(mc);
+  }
+  ExpectOutcomesEq(generic, ref);
+
+  {
+    System probe(KernelConfig::After(), mc);
+    ASSERT_EQ(probe.kernel().exec().charge_mode(), Executor::ChargeMode::kCompiled);
+  }
+  const KernelRunOutcome compiled = RunTimerPreemptWorkload(mc);
+  ExpectOutcomesEq(compiled, ref);
+}
+
+// Forcing kPrepared onto a machine whose L1I line size disagrees with the
+// Layout()-time spans must be rejected loudly — a silent acceptance would
+// mischarge every I-fetch in the run. The error names both geometries; the
+// modes that do handle the geometry still switch cleanly.
+TEST(ExecutorEquivalence, SetChargeModePreparedRejectsLineMismatch) {
+  MachineConfig mc = EvalMachine(false);
+  mc.l1i.line_bytes = 64;
+  System sys(KernelConfig::After(), mc);
+
+  try {
+    sys.kernel().exec().set_charge_mode(Executor::ChargeMode::kPrepared);
+    FAIL() << "set_charge_mode(kPrepared) accepted a 64-byte-line machine";
+  } catch (const ExecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("64"), std::string::npos) << what;
+    EXPECT_NE(what.find("kPreparedLineBytes"), std::string::npos) << what;
+  }
+
+  // The rejection must leave the executor usable on a supported mode.
+  sys.kernel().exec().set_charge_mode(Executor::ChargeMode::kGeneric);
+  EXPECT_EQ(sys.kernel().exec().charge_mode(), Executor::ChargeMode::kGeneric);
+  sys.kernel().exec().set_charge_mode(Executor::ChargeMode::kCompiled);
+  EXPECT_EQ(sys.kernel().exec().charge_mode(), Executor::ChargeMode::kCompiled);
+
+  // On matching geometry kPrepared is accepted.
+  System std_sys(KernelConfig::After(), EvalMachine(false));
+  std_sys.kernel().exec().set_charge_mode(Executor::ChargeMode::kPrepared);
+  EXPECT_EQ(std_sys.kernel().exec().charge_mode(), Executor::ChargeMode::kPrepared);
 }
 
 // Clones inherit the source executor's charge mode, not the current global
