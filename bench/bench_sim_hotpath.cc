@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/base/digest.h"
 #include "src/fault/campaign.h"
 #include "src/fault/scenario.h"
 #include "src/hw/hotpath.h"
@@ -55,18 +56,15 @@
 namespace pmk {
 namespace {
 
+// Digest helpers over the shared FNV-1a implementation (src/base/digest.h),
+// keeping this file's historical (seed, data, len) argument order.
 std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
+  return pmk::Fnv1a64(data, n, h);
 }
 
-std::uint64_t FnvU64(std::uint64_t h, std::uint64_t v) { return Fnv1a(h, &v, sizeof(v)); }
+using pmk::FnvU64;
 
-constexpr std::uint64_t kFnvBasis = 14695981039346656037ull;
+constexpr std::uint64_t kFnvBasis = pmk::kFnv64Offset;
 
 // One workload measured in one mode: wall-clock seconds, total modelled
 // cycles simulated (0 where the workload has no single cycle counter) and a

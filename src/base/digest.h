@@ -1,0 +1,49 @@
+// FNV-1a 64-bit content digests, chainable via |seed| for multi-part hashes.
+//
+// One implementation serves every digest consumer in the tree: the wire
+// layer's journal keys and checkpoint digests (src/engine), the kir
+// per-block content digests that key the incremental WCET caches
+// (src/kir/digest.h), and the bench drivers' output-equivalence gates.
+// Header-only so the kir layer can digest blocks without depending on the
+// engine library.
+
+#ifndef SRC_BASE_DIGEST_H_
+#define SRC_BASE_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pmk {
+
+inline constexpr std::uint64_t kFnv64Offset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnv64Prime = 0x100000001B3ull;
+
+inline std::uint64_t Fnv1a64(const void* data, std::size_t n,
+                             std::uint64_t seed = kFnv64Offset) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a64(const std::string& s, std::uint64_t seed = kFnv64Offset) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+// Chains one little-endian u64 into a running digest — the common idiom for
+// digesting a sequence of scalar observables.
+inline std::uint64_t FnvU64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+}  // namespace pmk
+
+#endif  // SRC_BASE_DIGEST_H_

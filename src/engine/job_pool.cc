@@ -91,32 +91,43 @@ void RunJobs(std::size_t n, unsigned jobs, const std::function<void(std::size_t)
   std::size_t err_index = std::numeric_limits<std::size_t>::max();
   std::exception_ptr err;
 
+  // Dynamic chunked claiming: each claim takes a contiguous run of indices,
+  // amortizing the shared-counter contention over |chunk| jobs while staying
+  // load-balanced (a straggler chunk only delays its own worker; idle workers
+  // keep draining the counter). ~8 chunks per worker keeps the tail short.
+  // Outputs stay byte-identical at any --jobs: inputs are still a pure
+  // function of the ordinal and results land in per-index slots, so chunk
+  // geometry affects only execution order, which nothing observable reads.
+  const std::size_t n_threads = std::min<std::size_t>(jobs, n);
+  const std::size_t chunk = std::max<std::size_t>(1, n / (n_threads * 8));
   const auto worker = [&] {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) {
         return;
       }
-      try {
-        const auto job_scope = JobWallTimer().Measure();
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (i < err_index) {
-          err_index = i;
-          err = std::current_exception();
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          const auto job_scope = JobWallTimer().Measure();
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (i < err_index) {
+            err_index = i;
+            err = std::current_exception();
+          }
         }
-      }
-      JobCounter().Inc();
-      const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
-      QueueDepthGauge().Set(static_cast<std::int64_t>(n - completed));
-      if (progress) {
-        MaybeReportProgress(completed, n);
+        JobCounter().Inc();
+        const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+        QueueDepthGauge().Set(static_cast<std::int64_t>(n - completed));
+        if (progress) {
+          MaybeReportProgress(completed, n);
+        }
       }
     }
   };
 
-  const std::size_t n_threads = std::min<std::size_t>(jobs, n);
   std::vector<std::thread> threads;
   threads.reserve(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) {

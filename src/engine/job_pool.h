@@ -4,7 +4,7 @@
 // INPUTS are a pure function of its ordinal index (plans precomputed
 // serially, RNG streams derived via SplitMix64::Split(index)), and its
 // OUTPUT is written to a preallocated slot at that index. Threads claim
-// indices off a shared atomic counter, so execution order is arbitrary, but
+// index chunks off a shared atomic counter, so execution order is arbitrary, but
 // nothing observable depends on it — `jobs=N` output is byte-identical to
 // `jobs=1` for any N.
 
@@ -26,7 +26,9 @@ bool ProgressEnabled();
 
 // Invokes fn(i) once for every i in [0, n). With jobs <= 1 (or n <= 1) the
 // calls run inline on the calling thread in index order; otherwise
-// min(jobs, n) worker threads claim indices from an atomic counter. All
+// min(jobs, n) worker threads dynamically claim contiguous index chunks
+// (~8 per worker) from an atomic counter — contention amortized over the
+// chunk, load balancing preserved because idle workers keep claiming. All
 // calls complete before RunJobs returns. fn must confine its effects to
 // per-index state (e.g. results[i]); it is invoked concurrently.
 //

@@ -48,20 +48,6 @@ std::uint32_t Crc32(const std::uint8_t* data, std::size_t n) {
   return c ^ 0xFFFFFFFFu;
 }
 
-std::uint64_t Fnv1a64(const void* data, std::size_t n, std::uint64_t seed) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  std::uint64_t h = seed;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
-std::uint64_t Fnv1a64(const std::string& s, std::uint64_t seed) {
-  return Fnv1a64(s.data(), s.size(), seed);
-}
-
 // ---------------------------------------------------------------- writer
 
 void WireWriter::F64(double v) {
@@ -201,7 +187,7 @@ std::optional<Frame> DecodeFrame(const std::uint8_t* data, std::size_t n) {
     throw WireError(WireFault::kBadLength, "frame payload over size cap");
   }
   if (type < static_cast<std::uint8_t>(FrameType::kSystemImage) ||
-      type > static_cast<std::uint8_t>(FrameType::kWorkerDone)) {
+      type > static_cast<std::uint8_t>(FrameType::kWcetReply)) {
     throw WireError(WireFault::kBadValue, "unknown frame type");
   }
   if (n - kFrameHeaderBytes < len) {

@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/digest.h"
+
 namespace pmk::engine {
 
 enum class WireFault : std::uint8_t {
@@ -54,10 +56,12 @@ class WireError : public std::runtime_error {
 // CRC-32 (IEEE 802.3, reflected) over |n| bytes.
 std::uint32_t Crc32(const std::uint8_t* data, std::size_t n);
 
-// FNV-1a 64-bit, chainable via |seed| for multi-part digests.
-inline constexpr std::uint64_t kFnv64Offset = 0xCBF29CE484222325ull;
-std::uint64_t Fnv1a64(const void* data, std::size_t n, std::uint64_t seed = kFnv64Offset);
-std::uint64_t Fnv1a64(const std::string& s, std::uint64_t seed = kFnv64Offset);
+// FNV-1a 64-bit, chainable via |seed| for multi-part digests. The
+// implementation lives in src/base/digest.h (shared with the kir block
+// digests); re-exported here so existing engine::Fnv1a64 callers compile
+// unchanged.
+using ::pmk::Fnv1a64;
+using ::pmk::kFnv64Offset;
 
 // ---------------------------------------------------------------- primitives
 
@@ -137,6 +141,8 @@ enum class FrameType : std::uint8_t {
   kTaskStart = 4,      // worker -> supervisor: run |ordinal| is in flight
   kTaskResult = 5,     // worker -> supervisor: run |ordinal| finished
   kWorkerDone = 6,     // worker -> supervisor: assigned list drained
+  kWcetQuery = 7,      // client -> wcet daemon: one query / edit notification
+  kWcetReply = 8,      // wcet daemon -> client: the answer
 };
 
 struct Frame {

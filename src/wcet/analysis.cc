@@ -51,41 +51,49 @@ const char* EntryPointName(EntryPoint e) {
   return "?";
 }
 
-WcetAnalyzer::WcetAnalyzer(const KernelImage& image, const AnalysisOptions& options)
-    : image_(&image), opts_(options) {
-  cost_opts_.l2_enabled = options.l2_enabled;
+CostModelOptions BuildCostModelOptions(const KernelImage& image, const AnalysisOptions& options) {
+  CostModelOptions cost_opts;
+  cost_opts.l2_enabled = options.l2_enabled;
   if (options.l2_kernel_pinning) {
     // The whole kernel (text, data, stack) is way-locked into the L2: any
     // statically-addressed kernel access misses no further than the L2.
-    cost_opts_.l2_kernel_pinned = true;
-    cost_opts_.l2_pinned_lo = Program::kTextBase;
-    cost_opts_.l2_pinned_hi = Program::kStackTop;
+    cost_opts.l2_kernel_pinned = true;
+    cost_opts.l2_pinned_lo = Program::kTextBase;
+    cost_opts.l2_pinned_hi = Program::kStackTop;
   }
   if (options.cache_pinning) {
-    const std::size_t capacity = (4096 / cost_opts_.line_bytes) * options.pin_ways;
-    const PinnedLines pins = SelectPinnedLines(image, cost_opts_.line_bytes, capacity);
-    cost_opts_.pinned_ilines.insert(pins.ilines.begin(), pins.ilines.end());
-    cost_opts_.pinned_dlines.insert(pins.dlines.begin(), pins.dlines.end());
+    const std::size_t capacity = (4096 / cost_opts.line_bytes) * options.pin_ways;
+    const PinnedLines pins = SelectPinnedLines(image, cost_opts.line_bytes, capacity);
+    cost_opts.pinned_ilines.insert(pins.ilines.begin(), pins.ilines.end());
+    cost_opts.pinned_dlines.insert(pins.dlines.begin(), pins.dlines.end());
     // The locked region shrinks the cache available to everything else: the
     // direct-mapped approximation loses the locked ways.
-    cost_opts_.way_bytes = 4096;  // unchanged: one way is already the model
+    cost_opts.way_bytes = 4096;  // unchanged: one way is already the model
   }
-  memoize_ = !wcet::ReferenceMode();
+  return cost_opts;
 }
 
-FuncId WcetAnalyzer::EntryFunc(EntryPoint e) const {
+FuncId AnalysisEntryFunc(const KernelImage& image, EntryPoint e) {
   switch (e) {
     case EntryPoint::kSyscall:
-      return image_->b.sys.fn;
+      return image.b.sys.fn;
     case EntryPoint::kUndefined:
-      return image_->b.undef.fn;
+      return image.b.undef.fn;
     case EntryPoint::kPageFault:
-      return image_->b.fault.fn;
+      return image.b.fault.fn;
     case EntryPoint::kInterrupt:
-      return image_->b.irq.fn;
+      return image.b.irq.fn;
   }
   return kNoFunc;
 }
+
+WcetAnalyzer::WcetAnalyzer(const KernelImage& image, const AnalysisOptions& options)
+    : image_(&image), opts_(options) {
+  cost_opts_ = BuildCostModelOptions(image, options);
+  memoize_ = !wcet::ReferenceMode();
+}
+
+FuncId WcetAnalyzer::EntryFunc(EntryPoint e) const { return AnalysisEntryFunc(*image_, e); }
 
 const CostModelCache& WcetAnalyzer::BlockCache() const {
   std::call_once(block_cache_once_, [&] {

@@ -35,6 +35,14 @@ struct AnalysisOptions {
 enum class EntryPoint : std::uint8_t { kSyscall, kUndefined, kPageFault, kInterrupt };
 const char* EntryPointName(EntryPoint e);
 
+// Derives the cost-model configuration (L2, pinning, locked line sets) that
+// |options| implies for |image|. Shared by WcetAnalyzer and
+// IncrementalWcetAnalyzer so both derive identical cost models.
+CostModelOptions BuildCostModelOptions(const KernelImage& image, const AnalysisOptions& options);
+
+// The entry function of |e| in |image| (kernel exception vector).
+FuncId AnalysisEntryFunc(const KernelImage& image, EntryPoint e);
+
 struct EntryResult {
   EntryPoint entry = EntryPoint::kSyscall;
   SolveStatus status = SolveStatus::kInfeasible;

@@ -12,6 +12,84 @@
 
 namespace pmk {
 
+// Position-independent basis export token ({structural var | slack of row r |
+// artificial of row r}). Defined at namespace scope (not in the anonymous
+// namespace) because IlpWarmStart::Impl stores a vector of them.
+struct BasisToken {
+  enum class Kind : std::uint8_t { kStruct, kSlack, kArt };
+  Kind kind = Kind::kStruct;
+  std::uint32_t id = 0;  // var index for kStruct, row index otherwise
+};
+
+struct IlpWarmStart::Impl {
+  std::vector<BasisToken> tokens;
+};
+
+IlpWarmStart::IlpWarmStart() : impl_(std::make_unique<Impl>()) {}
+IlpWarmStart::~IlpWarmStart() = default;
+IlpWarmStart::IlpWarmStart(IlpWarmStart&&) noexcept = default;
+IlpWarmStart& IlpWarmStart::operator=(IlpWarmStart&&) noexcept = default;
+bool IlpWarmStart::valid() const { return impl_ && !impl_->tokens.empty(); }
+void IlpWarmStart::Reset() {
+  if (impl_) {
+    impl_->tokens.clear();
+  }
+}
+
+void IlpWarmStart::RemapRows(const std::vector<std::int32_t>& old_to_new,
+                             std::uint32_t new_count) {
+  if (!valid()) {
+    return;
+  }
+  std::vector<BasisToken>& tokens = impl_->tokens;
+  const std::uint32_t old_m = static_cast<std::uint32_t>(tokens.size());
+  if (old_to_new.size() != old_m) {
+    // The stored basis does not match the instance the mapping was built
+    // against (e.g. it was exported under a different option set).
+    Reset();
+    return;
+  }
+  std::vector<BasisToken> out(new_count, BasisToken{BasisToken::Kind::kSlack, 0});
+  std::vector<char> filled(new_count, 0);
+  for (std::uint32_t p = 0; p < old_m; ++p) {
+    const std::int32_t np = old_to_new[p];
+    if (np < 0) {
+      continue;  // this position's row was removed; drop its token
+    }
+    if (static_cast<std::uint32_t>(np) >= new_count || filled[np]) {
+      Reset();  // malformed mapping (out of range or not injective)
+      return;
+    }
+    BasisToken t = tokens[p];
+    if (t.kind != BasisToken::Kind::kStruct) {
+      if (t.id >= old_m) {
+        Reset();
+        return;
+      }
+      const std::int32_t nid = old_to_new[t.id];
+      if (nid < 0) {
+        // The referenced row was removed; fall back to the slack of the row
+        // now occupying this position. A duplicate against another token is
+        // caught by ImportBasis and falls through to a cold solve.
+        t = BasisToken{BasisToken::Kind::kSlack, static_cast<std::uint32_t>(np)};
+      } else {
+        t.id = static_cast<std::uint32_t>(nid);
+      }
+    }
+    out[static_cast<std::uint32_t>(np)] = t;
+    filled[np] = 1;
+  }
+  // Rows with no surviving position (freshly inserted) enter with their own
+  // slack or artificial basic: a singleton column, block-triangular against
+  // the surviving basis, so refactorisation stays nonsingular.
+  for (std::uint32_t r = 0; r < new_count; ++r) {
+    if (!filled[r]) {
+      out[r] = BasisToken{BasisToken::Kind::kSlack, r};
+    }
+  }
+  tokens = std::move(out);
+}
+
 namespace {
 
 constexpr double kEps = 1e-7;
@@ -36,6 +114,16 @@ obs::Counter& BbNodeCounter() {
 }
 obs::Counter& BbWarmStartCounter() {
   static obs::Counter c("wcet.bb.warm_starts");
+  return c;
+}
+// Incremental-engine telemetry: how often SolveIlpWarm actually restarted
+// from a stored basis vs. fell through to a cold root solve.
+obs::Counter& IncWarmSolveCounter() {
+  static obs::Counter c("wcet.inc.simplex.warm");
+  return c;
+}
+obs::Counter& IncColdSolveCounter() {
+  static obs::Counter c("wcet.inc.simplex.cold");
   return c;
 }
 
@@ -312,12 +400,6 @@ class Simplex {
 // loop. Any import/refactorisation/numerical trouble falls back
 // deterministically to a cold two-phase solve.
 
-struct BasisToken {
-  enum class Kind : std::uint8_t { kStruct, kSlack, kArt };
-  Kind kind = Kind::kStruct;
-  std::uint32_t id = 0;  // var index for kStruct, row index otherwise
-};
-
 class RevisedSimplex {
  public:
   // Solves lp with |extra| rows appended (without materialising the copy).
@@ -372,6 +454,17 @@ class RevisedSimplex {
     const SolveStatus st = Iterate();
     if (st != SolveStatus::kOptimal) {
       return Fail(st);
+    }
+    // A basic artificial that ended positive means the repaired point is not
+    // feasible for the original rows (phase 2 never prices artificials, so
+    // neither loop above is obliged to remove one). Rare — the import guard
+    // rejects positive artificials up front — but if repair drove one
+    // positive, discard the warm path entirely.
+    for (std::uint32_t p = 0; p < m_; ++p) {
+      if (basis_[p] >= art_base_ && beta_[p] > kEps) {
+        ResetBasis();
+        return Solve();
+      }
     }
     return Extract();
   }
@@ -900,7 +993,11 @@ class RevisedSimplex {
           break;
         case BasisToken::Kind::kSlack:
           if (t.id < m_) {
-            col = slack_col_[t.id];
+            // Equality rows carry no slack; a rebased token for a fresh kEq
+            // row (IlpWarmStart::RemapRows) resolves to the row's artificial
+            // instead. Exported tokens always reference a real slack, so the
+            // fallback only engages for synthetic rebased tokens.
+            col = slack_col_[t.id] >= 0 ? slack_col_[t.id] : art_col_[t.id];
           }
           break;
         case BasisToken::Kind::kArt:
@@ -932,7 +1029,22 @@ class RevisedSimplex {
     }
     ClearEtas();
     pivots_since_factor_ = 0;
-    return TryRefactorize();
+    if (!TryRefactorize()) {
+      return false;
+    }
+    // A basic artificial at a POSITIVE value encodes an infeasible point the
+    // warm path cannot repair: artificials never re-enter in phase 2 and the
+    // dual loop only drives out negative basics. (A negative basic
+    // artificial — a freshly rebased equality row whose edge still flows —
+    // is exactly what the dual repair removes, so it passes.) Happens when a
+    // row's rhs was edited under a degenerate artificial: fall back to the
+    // cold two-phase solve.
+    for (std::uint32_t p = 0; p < m_; ++p) {
+      if (basis_[p] >= art_base_ && beta_[p] > kEps) {
+        return false;
+      }
+    }
+    return true;
   }
 
   SolveStatus Iterate() {
@@ -1189,7 +1301,14 @@ SolveResult SolveLp(const LinearProgram& lp) {
   return res;
 }
 
-SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
+namespace {
+
+// Shared branch-and-bound driver. |root_warm| (nullable) seeds the root
+// relaxation's basis; |root_basis_out| (nullable) receives the root's
+// optimal basis for the caller to carry into the next edited instance.
+SolveResult SolveIlpImpl(const LinearProgram& lp, std::uint32_t max_nodes,
+                         const std::vector<BasisToken>* root_warm,
+                         std::vector<BasisToken>* root_basis_out) {
   // Branch and bound, depth-first, best-incumbent pruning. The node order,
   // branching variable choice and pruning thresholds are shared between the
   // sparse and reference solver paths so truncation behaviour is identical.
@@ -1199,6 +1318,9 @@ SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
     std::vector<BasisToken> warm;  // parent's optimal basis (sparse path)
   };
   std::vector<Node> stack{Node{}};
+  if (!reference && root_warm != nullptr && !root_warm->empty()) {
+    stack.back().warm = *root_warm;
+  }
   SolveResult best;
   best.status = SolveStatus::kInfeasible;
   double incumbent = -std::numeric_limits<double>::infinity();
@@ -1231,6 +1353,9 @@ SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
       rel = node.warm.empty() ? rs.Solve() : rs.SolveWarm(node.warm);
       if (rel.status == SolveStatus::kOptimal) {
         basis_out = rs.ExportBasis();
+        if (explored == 1 && root_basis_out != nullptr) {
+          *root_basis_out = basis_out;
+        }
       }
     }
     pivots_total += rel.pivots;
@@ -1291,6 +1416,35 @@ SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
   best.pivots = pivots_total;
   PivotCounter().Inc(pivots_total);
   return best;
+}
+
+}  // namespace
+
+SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes) {
+  return SolveIlpImpl(lp, max_nodes, nullptr, nullptr);
+}
+
+SolveResult SolveIlpWarm(const LinearProgram& lp, IlpWarmStart& warm, std::uint32_t max_nodes) {
+  if (wcet::ReferenceMode()) {
+    // The dense twin neither consumes nor produces bases; leave |warm| as-is
+    // so the reference path stays byte-for-byte the seed solver.
+    return SolveIlpImpl(lp, max_nodes, nullptr, nullptr);
+  }
+  const bool warmed = warm.valid();
+  if (warmed) {
+    IncWarmSolveCounter().Inc();
+  } else {
+    IncColdSolveCounter().Inc();
+  }
+  std::vector<BasisToken> root_out;
+  const SolveResult res =
+      SolveIlpImpl(lp, max_nodes, warmed ? &warm.impl_->tokens : nullptr, &root_out);
+  if (!root_out.empty()) {
+    warm.impl_->tokens = std::move(root_out);
+  } else {
+    warm.Reset();  // root did not reach optimality; a stale basis is useless
+  }
+  return res;
 }
 
 }  // namespace pmk

@@ -13,6 +13,7 @@
 #define SRC_WCET_ILP_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace pmk {
@@ -61,6 +62,53 @@ SolveResult SolveLp(const LinearProgram& lp);
 
 // Solves with all variables integer. |max_nodes| bounds branch-and-bound.
 SolveResult SolveIlp(const LinearProgram& lp, std::uint32_t max_nodes = 10'000);
+
+// Opaque carrier for a previous solve's optimal basis (position-independent
+// tokens: structural var / slack-of-row / artificial-of-row). Lets the next
+// SolveIlpWarm of a slightly edited instance restart the sparse revised
+// simplex from where the last one finished instead of solving cold.
+class IlpWarmStart {
+ public:
+  IlpWarmStart();
+  ~IlpWarmStart();
+  IlpWarmStart(IlpWarmStart&&) noexcept;
+  IlpWarmStart& operator=(IlpWarmStart&&) noexcept;
+
+  bool valid() const;
+  void Reset();  // forget the stored basis (forces the next solve cold)
+
+  // Rebases the stored basis across an in-place row edit described by
+  // |old_to_new|: entry r holds the new index of old row r, or -1 if that
+  // row was removed. |new_count| is the edited instance's row count; new
+  // rows (indices absent from the mapping) enter with their own slack or
+  // artificial basic — block-triangular against the surviving basis.
+  // Structural tokens pass through untouched; slack/artificial tokens are
+  // re-indexed through the mapping, and a token whose row was removed is
+  // substituted with its position's own slack. Without this, a row-count
+  // change leaves every later slack token pointing at the wrong row and the
+  // "warm" solve degenerates into near-cold repair. No-op when no basis is
+  // stored; a mapping that doesn't match the stored basis drops it (next
+  // solve runs cold).
+  void RemapRows(const std::vector<std::int32_t>& old_to_new, std::uint32_t new_count);
+
+ private:
+  friend SolveResult SolveIlpWarm(const LinearProgram&, IlpWarmStart&, std::uint32_t);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// SolveIlp, warm-restarting the root relaxation from |warm| when it holds a
+// basis: the stored basis is re-imported against the new instance (rows may
+// have been patched in place or LE rows appended at the end), refactorised,
+// repaired to primal feasibility by a bounded dual-simplex loop, then
+// cleaned up by the primal. Any import or numerical trouble falls back
+// deterministically to a cold solve — the result is always identical to
+// SolveIlp on the same instance. On an optimal solve the root basis is
+// stored back into |warm| for the next call. Under
+// pmk::wcet::SetReferenceMode the dense twin runs instead and |warm| is
+// left untouched.
+SolveResult SolveIlpWarm(const LinearProgram& lp, IlpWarmStart& warm,
+                         std::uint32_t max_nodes = 10'000);
 
 }  // namespace pmk
 

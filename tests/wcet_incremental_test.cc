@@ -1,0 +1,409 @@
+// Incremental WCET engine: bit-identity against cold re-analysis, digest
+// stage precision, warm-started simplex bookkeeping, and the query-daemon
+// core under concurrent queries and edits.
+//
+// The load-bearing property is the PR-5-style identity gate: after ANY
+// sequence of supported post-layout edits (loop-bound annotations, absolute
+// execution bounds, preemption-point toggles), every answer the incremental
+// analyzer gives must be bit-identical to a fresh cold WcetAnalyzer over the
+// same edited image — randomized edit scripts probe that across both kernel
+// configurations. The service tests double as the TSan workload for the
+// shared/exclusive lock discipline (ctest -R WcetIncremental under
+// -fsanitize=thread in CI).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/wire.h"
+#include "src/kir/digest.h"
+#include "src/obs/metrics.h"
+#include "src/wcet/analysis.h"
+#include "src/wcet/incremental.h"
+#include "src/wcet/serve.h"
+
+namespace pmk {
+namespace {
+
+using engine::WireReader;
+using engine::WireWriter;
+using wcet::EditField;
+using wcet::ServeOp;
+using wcet::WcetService;
+
+constexpr EntryPoint kAllEntries[] = {EntryPoint::kSyscall, EntryPoint::kUndefined,
+                                      EntryPoint::kPageFault, EntryPoint::kInterrupt};
+
+// One randomized supported edit. Drawn from the live block table so scripts
+// stay within the post-layout mutation contract.
+struct Edit {
+  BlockId block = 0;
+  EditField field = EditField::kLoopBoundAnnotation;
+  std::uint64_t value = 0;
+};
+
+Edit RandomEdit(const Program& prog, std::mt19937& rng) {
+  std::vector<Edit> candidates;
+  for (BlockId id = 0; id < prog.num_blocks(); ++id) {
+    const Block& b = prog.block(id);
+    if (b.loop_bound_annotation > 0) {
+      // Perturb within a small range so bounds stay feasible.
+      candidates.push_back({id, EditField::kLoopBoundAnnotation,
+                            b.loop_bound_annotation + (rng() % 4)});
+    }
+    if (b.absolute_exec_bound > 0) {
+      candidates.push_back({id, EditField::kAbsoluteExecBound,
+                            b.absolute_exec_bound + (rng() % 4)});
+    }
+    if (b.is_preemption_point) {
+      candidates.push_back({id, EditField::kIsPreemptionPoint, rng() % 2});
+    }
+  }
+  EXPECT_FALSE(candidates.empty());
+  return candidates[rng() % candidates.size()];
+}
+
+void ApplyEdit(Program& prog, const Edit& e) {
+  Block& b = prog.mutable_block(e.block);
+  switch (e.field) {
+    case EditField::kLoopBoundAnnotation:
+      b.loop_bound_annotation = static_cast<std::uint32_t>(e.value);
+      break;
+    case EditField::kAbsoluteExecBound:
+      b.absolute_exec_bound = static_cast<std::uint32_t>(e.value);
+      break;
+    case EditField::kIsPreemptionPoint:
+      b.is_preemption_point = e.value != 0;
+      break;
+  }
+}
+
+void ExpectResultsIdentical(const EntryResult& inc, const EntryResult& cold) {
+  EXPECT_EQ(inc.status, cold.status);
+  EXPECT_EQ(inc.wcet, cold.wcet);
+  EXPECT_EQ(inc.micros, cold.micros);
+  EXPECT_EQ(inc.nodes, cold.nodes);
+  EXPECT_EQ(inc.edges, cold.edges);
+  EXPECT_EQ(inc.loops_bounded_auto, cold.loops_bounded_auto);
+  EXPECT_EQ(inc.loops_bounded_annot, cold.loops_bounded_annot);
+  EXPECT_EQ(inc.worst_trace.blocks, cold.worst_trace.blocks);
+}
+
+// ------------------------------------------------------------ digest stages
+
+TEST(BlockDigests, StagePrecision) {
+  const auto image = BuildKernelImage(KernelConfig::After());
+  Program& prog = image->prog;
+
+  // Find one annotated loop head and one preemption point.
+  BlockId annot = kNoBlock;
+  BlockId preempt = kNoBlock;
+  for (BlockId id = 0; id < prog.num_blocks(); ++id) {
+    if (annot == kNoBlock && prog.block(id).loop_bound_annotation > 0) {
+      annot = id;
+    }
+    if (preempt == kNoBlock && prog.block(id).is_preemption_point) {
+      preempt = id;
+    }
+  }
+  ASSERT_NE(annot, kNoBlock);
+  ASSERT_NE(preempt, kNoBlock);
+
+  const BlockStageDigests before_annot = ComputeBlockDigests(prog, annot);
+  prog.mutable_block(annot).loop_bound_annotation += 1;
+  const BlockStageDigests after_annot = ComputeBlockDigests(prog, annot);
+  // An annotation edit moves exactly the loop stage.
+  EXPECT_EQ(before_annot.of(DigestStage::kStructure), after_annot.of(DigestStage::kStructure));
+  EXPECT_NE(before_annot.of(DigestStage::kLoops), after_annot.of(DigestStage::kLoops));
+  EXPECT_EQ(before_annot.of(DigestStage::kCost), after_annot.of(DigestStage::kCost));
+  EXPECT_EQ(before_annot.of(DigestStage::kIpet), after_annot.of(DigestStage::kIpet));
+  prog.mutable_block(annot).loop_bound_annotation -= 1;
+
+  const BlockStageDigests before_pp = ComputeBlockDigests(prog, preempt);
+  prog.mutable_block(preempt).is_preemption_point = false;
+  const BlockStageDigests after_pp = ComputeBlockDigests(prog, preempt);
+  // A preemption toggle moves exactly the ILP-extras stage.
+  EXPECT_EQ(before_pp.of(DigestStage::kStructure), after_pp.of(DigestStage::kStructure));
+  EXPECT_EQ(before_pp.of(DigestStage::kLoops), after_pp.of(DigestStage::kLoops));
+  EXPECT_EQ(before_pp.of(DigestStage::kCost), after_pp.of(DigestStage::kCost));
+  EXPECT_NE(before_pp.of(DigestStage::kIpet), after_pp.of(DigestStage::kIpet));
+  prog.mutable_block(preempt).is_preemption_point = true;
+}
+
+TEST(BlockDigests, RefreshReportsChange) {
+  const auto image = BuildKernelImage(KernelConfig::After());
+  Program& prog = image->prog;
+  ProgramDigests digests(prog);
+
+  BlockId annot = kNoBlock;
+  for (BlockId id = 0; id < prog.num_blocks() && annot == kNoBlock; ++id) {
+    if (prog.block(id).loop_bound_annotation > 0) {
+      annot = id;
+    }
+  }
+  ASSERT_NE(annot, kNoBlock);
+
+  EXPECT_FALSE(digests.Refresh(annot));  // nothing edited
+  prog.mutable_block(annot).loop_bound_annotation += 1;
+  EXPECT_TRUE(digests.Refresh(annot));
+  EXPECT_FALSE(digests.Refresh(annot));  // digest already refreshed
+}
+
+// ------------------------------------------------------- incremental engine
+
+TEST(IncrementalWcet, MatchesColdAnalyzerOnFreshImage) {
+  const auto image = BuildKernelImage(KernelConfig::After());
+  const AnalysisOptions opts;
+  IncrementalWcetAnalyzer inc(*image, opts);
+  const WcetAnalyzer cold(*image, opts);
+  for (EntryPoint e : kAllEntries) {
+    ExpectResultsIdentical(inc.Analyze(e), cold.Analyze(e));
+  }
+  EXPECT_EQ(inc.InterruptResponseBound(), cold.InterruptResponseBound());
+  EXPECT_EQ(inc.PerBlockBounds(), cold.PerBlockBounds());
+}
+
+TEST(IncrementalWcet, RepeatQueriesArePureHits) {
+  const auto image = BuildKernelImage(KernelConfig::After());
+  IncrementalWcetAnalyzer inc(*image, AnalysisOptions{});
+  const Cycles first = inc.InterruptResponseBound();
+  for (EntryPoint e : kAllEntries) {
+    EXPECT_TRUE(inc.Fresh(e));
+  }
+  EXPECT_EQ(inc.InterruptResponseBound(), first);
+}
+
+class RandomEditScriptTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RandomEditScriptTest, IncrementalIdenticalToColdAfterEveryEdit) {
+  // Both kernel configurations, alternating by seed; 24 cumulative edits per
+  // script, cold-checked after every one.
+  const KernelConfig kc =
+      (GetParam() % 2 == 0) ? KernelConfig::After() : KernelConfig::Before();
+  const auto image = BuildKernelImage(kc);
+  Program& prog = image->prog;
+  AnalysisOptions opts;
+  IncrementalWcetAnalyzer inc(*image, opts);
+  inc.InterruptResponseBound();  // prime the caches
+
+  std::mt19937 rng(GetParam() * 7919 + 17);
+  for (int step = 0; step < 24; ++step) {
+    const Edit e = RandomEdit(prog, rng);
+    ApplyEdit(prog, e);
+    inc.NotifyBlockEdited(e.block);
+    const WcetAnalyzer cold(*image, opts);
+    for (EntryPoint entry : kAllEntries) {
+      ExpectResultsIdentical(inc.Analyze(entry), cold.Analyze(entry));
+    }
+    EXPECT_EQ(inc.InterruptResponseBound(), cold.InterruptResponseBound());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEditScriptTest, ::testing::Values(0u, 1u, 2u, 3u));
+
+TEST(IncrementalWcet, WarmStartsAfterMetadataEdits) {
+  const auto image = BuildKernelImage(KernelConfig::After());
+  Program& prog = image->prog;
+  IncrementalWcetAnalyzer inc(*image, AnalysisOptions{});
+  inc.InterruptResponseBound();
+
+  const std::uint64_t warm_before =
+      obs::MetricsRegistry::Get().Snapshot().CounterValue("wcet.inc.simplex.warm");
+  std::mt19937 rng(42);
+  for (int step = 0; step < 8; ++step) {
+    const Edit e = RandomEdit(prog, rng);
+    ApplyEdit(prog, e);
+    inc.NotifyBlockEdited(e.block);
+    inc.InterruptResponseBound();
+  }
+  const std::uint64_t warm_after =
+      obs::MetricsRegistry::Get().Snapshot().CounterValue("wcet.inc.simplex.warm");
+  // Metadata-only edits keep a valid stored basis, so at least some of the
+  // re-solves must have started warm.
+  EXPECT_GT(warm_after, warm_before);
+}
+
+// ------------------------------------------------------------- service core
+
+std::vector<std::uint8_t> AnalyzeRequest(EntryPoint e) {
+  WireWriter w;
+  w.U8(static_cast<std::uint8_t>(ServeOp::kAnalyze));
+  w.U8(static_cast<std::uint8_t>(e));
+  return w.Take();
+}
+
+std::vector<std::uint8_t> ResponseBoundRequest() {
+  WireWriter w;
+  w.U8(static_cast<std::uint8_t>(ServeOp::kResponseBound));
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EditRequest(BlockId block, EditField field, std::uint64_t value) {
+  WireWriter w;
+  w.U8(static_cast<std::uint8_t>(ServeOp::kEdit));
+  w.U32(block);
+  w.U8(static_cast<std::uint8_t>(field));
+  w.U64(value);
+  return w.Take();
+}
+
+Cycles ParseBound(const std::vector<std::uint8_t>& reply) {
+  WireReader r(reply);
+  EXPECT_EQ(r.U8(), 0);
+  return r.U64();
+}
+
+TEST(WcetService, AnswersMatchDirectAnalyzer) {
+  const AnalysisOptions opts;
+  WcetService service(BuildKernelImage(KernelConfig::After()), opts);
+  const auto image = BuildKernelImage(KernelConfig::After());
+  const WcetAnalyzer direct(*image, opts);
+
+  for (EntryPoint e : kAllEntries) {
+    const auto reply = WcetService::ParseAnalyzeReply(service.Handle(AnalyzeRequest(e)));
+    const EntryResult want = direct.Analyze(e);
+    EXPECT_EQ(reply.status, static_cast<std::uint8_t>(want.status));
+    EXPECT_EQ(reply.wcet, want.wcet);
+    EXPECT_EQ(reply.micros, want.micros);
+    EXPECT_EQ(reply.nodes, want.nodes);
+    EXPECT_EQ(reply.edges, want.edges);
+    EXPECT_EQ(reply.trace_blocks, want.worst_trace.blocks.size());
+  }
+  EXPECT_EQ(ParseBound(service.Handle(ResponseBoundRequest())), direct.InterruptResponseBound());
+}
+
+TEST(WcetService, EditInvalidatesAndReanswers) {
+  const AnalysisOptions opts;
+  WcetService service(BuildKernelImage(KernelConfig::After()), opts);
+  const Cycles baseline = ParseBound(service.Handle(ResponseBoundRequest()));
+
+  // Mirror image carries the cold reference for the edited state.
+  const auto mirror = BuildKernelImage(KernelConfig::After());
+  Program& prog = mirror->prog;
+  BlockId annot = kNoBlock;
+  for (BlockId id = 0; id < prog.num_blocks() && annot == kNoBlock; ++id) {
+    if (prog.block(id).loop_bound_annotation > 0) {
+      annot = id;
+    }
+  }
+  ASSERT_NE(annot, kNoBlock);
+  const std::uint32_t orig = prog.block(annot).loop_bound_annotation;
+
+  service.Handle(EditRequest(annot, EditField::kLoopBoundAnnotation, orig + 3));
+  prog.mutable_block(annot).loop_bound_annotation = orig + 3;
+  EXPECT_EQ(ParseBound(service.Handle(ResponseBoundRequest())),
+            WcetAnalyzer(*mirror, opts).InterruptResponseBound());
+
+  service.Handle(EditRequest(annot, EditField::kLoopBoundAnnotation, orig));
+  EXPECT_EQ(ParseBound(service.Handle(ResponseBoundRequest())), baseline);
+}
+
+TEST(WcetService, MalformedRequestsAnswerErrorsNotCrashes) {
+  WcetService service(BuildKernelImage(KernelConfig::After()), AnalysisOptions{});
+  const std::vector<std::vector<std::uint8_t>> bad = {
+      {},                      // empty
+      {99},                    // unknown op
+      {1},                     // analyze without entry byte
+      {1, 200},                // analyze with bogus entry
+      {4, 1, 2, 3},            // truncated edit
+      {1, 0, 0xFF},            // trailing garbage
+  };
+  for (const auto& request : bad) {
+    const auto reply = service.Handle(request);
+    WireReader r(reply);
+    EXPECT_EQ(r.U8(), 1) << "request should have been rejected";
+    EXPECT_FALSE(r.Str().empty());
+  }
+  // Out-of-range block id in a well-formed edit.
+  const auto reply = service.Handle(EditRequest(0xFFFFFF, EditField::kLoopBoundAnnotation, 1));
+  WireReader r(reply);
+  EXPECT_EQ(r.U8(), 1);
+
+  // The service still answers normal queries afterwards.
+  const auto ok = WcetService::ParseAnalyzeReply(service.Handle(AnalyzeRequest(EntryPoint::kSyscall)));
+  EXPECT_EQ(ok.status, static_cast<std::uint8_t>(SolveStatus::kOptimal));
+}
+
+TEST(WcetService, PingEchoesAndShutdownLatches) {
+  WcetService service(BuildKernelImage(KernelConfig::After()), AnalysisOptions{});
+  WireWriter ping;
+  ping.U8(static_cast<std::uint8_t>(ServeOp::kPing));
+  ping.U64(0xDEADBEEFCAFEF00DULL);
+  const auto reply = service.Handle(ping.Take());
+  WireReader r(reply);
+  EXPECT_EQ(r.U8(), 0);
+  EXPECT_EQ(r.U64(), 0xDEADBEEFCAFEF00DULL);
+
+  EXPECT_FALSE(service.shutdown_requested());
+  WireWriter down;
+  down.U8(static_cast<std::uint8_t>(ServeOp::kShutdown));
+  service.Handle(down.Take());
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+// The TSan workload: concurrent queries against concurrent edit
+// notifications must be race-free and every answer must equal one of the
+// values the edit sequence can produce; after the writers drain, the answer
+// must equal the cold bound of the final state.
+TEST(WcetService, ConcurrentQueriesAndEditsAreRaceFree) {
+  const AnalysisOptions opts;
+  auto image = BuildKernelImage(KernelConfig::After());
+  BlockId annot = kNoBlock;
+  for (BlockId id = 0; id < image->prog.num_blocks() && annot == kNoBlock; ++id) {
+    if (image->prog.block(id).loop_bound_annotation > 0) {
+      annot = id;
+    }
+  }
+  ASSERT_NE(annot, kNoBlock);
+  const std::uint32_t orig = image->prog.block(annot).loop_bound_annotation;
+  WcetService service(std::move(image), opts);
+
+  constexpr int kQueryThreads = 6;
+  constexpr int kQueriesPerThread = 40;
+  constexpr int kEdits = 30;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kQueryThreads);
+  for (int t = 0; t < kQueryThreads; ++t) {
+    readers.emplace_back([&service, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        const EntryPoint e = kAllEntries[(t + q) % 4];
+        const auto reply = service.Handle(AnalyzeRequest(e));
+        WireReader r(reply);
+        ASSERT_EQ(r.U8(), 0);
+        service.Handle(ResponseBoundRequest());
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < kEdits; ++i) {
+      // Bounce the annotation between orig and orig+2: every edit moves the
+      // loop-stage digest and forces invalidation + warm re-solves under the
+      // readers' feet.
+      const std::uint32_t v = (i % 2 == 0) ? orig + 2 : orig;
+      const auto reply = service.Handle(EditRequest(annot, EditField::kLoopBoundAnnotation, v));
+      WireReader r(reply);
+      ASSERT_EQ(r.U8(), 0);
+    }
+    stop.store(true);
+  });
+  for (std::thread& t : readers) {
+    t.join();
+  }
+  writer.join();
+  EXPECT_TRUE(stop.load());
+
+  // Final state: kEdits is even, so the annotation is back at orig — the
+  // settled answer must equal the cold bound of the pristine image.
+  const auto mirror = BuildKernelImage(KernelConfig::After());
+  EXPECT_EQ(ParseBound(service.Handle(ResponseBoundRequest())),
+            WcetAnalyzer(*mirror, opts).InterruptResponseBound());
+}
+
+}  // namespace
+}  // namespace pmk
